@@ -1,0 +1,39 @@
+// Shared helpers for the figure-reproduction bench binaries.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "runtime/experiment.hpp"
+#include "runtime/report.hpp"
+
+namespace fwkv::bench {
+
+inline std::vector<std::uint32_t> node_sweep() {
+  // Paper sweeps 5/10/15/20 CloudLab machines. FWKV_BENCH_NODES_MAX trims
+  // the sweep for quick runs on small hosts.
+  std::vector<std::uint32_t> nodes{5, 10, 15, 20};
+  if (const char* cap = std::getenv("FWKV_BENCH_NODES_MAX")) {
+    const auto max_nodes = static_cast<std::uint32_t>(std::atoi(cap));
+    std::erase_if(nodes, [&](std::uint32_t n) { return n > max_nodes; });
+    if (nodes.empty()) nodes.push_back(max_nodes);
+  }
+  return nodes;
+}
+
+inline const char* short_name(Protocol p) { return protocol_name(p); }
+
+/// Preamble every figure bench prints: what the paper's figure shows and
+/// what deviation to expect from the simulated substrate.
+inline void print_header(const char* figure, const char* expectation) {
+  std::cout << "########################################################\n"
+            << "# " << figure << "\n"
+            << "# Paper expectation: " << expectation << "\n"
+            << "# Note: the simulator reproduces protocol-relative shapes\n"
+            << "# at each configuration, not CloudLab absolute numbers.\n"
+            << "########################################################\n\n";
+}
+
+}  // namespace fwkv::bench

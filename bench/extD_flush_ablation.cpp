@@ -1,0 +1,67 @@
+// Extension D: ablation of the propagation batching interval (DESIGN.md
+// §5 decision 2/5). Walter-style periodic propagation trades network
+// traffic against snapshot staleness: a longer flush interval sends fewer
+// Propagate messages but leaves Walter's begin-time snapshots (and both
+// systems' in-order Decide application) further behind.
+#include "bench_common.hpp"
+#include "runtime/driver.hpp"
+#include "workload/ycsb.hpp"
+
+int main() {
+  using namespace fwkv;
+  using namespace fwkv::bench;
+  using runtime::Table;
+
+  print_header(
+      "Extension D: propagation flush-interval ablation (FW-KV vs Walter, "
+      "10 nodes)",
+      "larger intervals cut Propagate traffic; FW-KV read freshness is "
+      "immune (first-contact reads bypass siteVC), Walter staleness and "
+      "abort rate grow");
+
+  const auto scale = runtime::ExperimentScale::from_env();
+
+  Table table("Flush-interval sweep (YCSB 10k keys, 50% read-only)",
+              {"interval", "protocol", "kTx/s", "abort", "stale reads",
+               "propagate msgs/commit"});
+  for (auto interval : {std::chrono::microseconds(200),
+                        std::chrono::microseconds(1000),
+                        std::chrono::microseconds(4000)}) {
+    for (Protocol p : {Protocol::kFwKv, Protocol::kWalter}) {
+      ClusterConfig cfg;
+      cfg.num_nodes = 10;
+      cfg.protocol = p;
+      cfg.net.one_way_latency = scale.one_way_latency;
+      cfg.protocol_config.propagate_flush_interval = interval;
+      Cluster cluster(cfg);
+      ycsb::YcsbConfig ycfg;
+      ycfg.total_keys = 10'000;
+      ycfg.read_only_ratio = 0.5;
+      ycsb::YcsbWorkload workload(ycfg);
+      workload.load(cluster);
+
+      runtime::DriverConfig dcfg;
+      dcfg.clients_per_node = scale.clients_per_node;
+      dcfg.warmup = scale.warmup;
+      dcfg.measure = scale.measure;
+      auto result = runtime::run_driver(cluster, workload, dcfg);
+      const auto propagates =
+          cluster.network().messages_sent(net::MessageType::kPropagate);
+      const double per_commit =
+          result.clients.commits() == 0
+              ? 0.0
+              : static_cast<double>(propagates) /
+                    static_cast<double>(result.clients.commits());
+      table.add_row(
+          {Table::fmt(std::chrono::duration<double, std::milli>(interval)
+                          .count(),
+                      1) + " ms",
+           protocol_name(p), Table::fmt(result.throughput_tps() / 1000),
+           Table::fmt_pct(result.abort_rate()),
+           Table::fmt_pct(result.stale_read_fraction(), 2),
+           Table::fmt(per_commit, 2)});
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Extension E: geo-distributed deployment. Walter (SOSP'11) was built for
+// geo-replication; this experiment places the cluster in two regions with
+// a high-latency WAN between them and measures what FW-KV's fresh reads
+// cost and buy when propagation crosses an ocean.
+#include "bench_common.hpp"
+#include "runtime/driver.hpp"
+#include "workload/ycsb.hpp"
+
+int main() {
+  using namespace fwkv;
+  using namespace fwkv::bench;
+  using runtime::Table;
+
+  print_header(
+      "Extension E: two-region geo deployment (6 nodes, 3 per region)",
+      "cross-region propagation makes Walter snapshots very stale; FW-KV "
+      "pays WAN round-trips for remote first reads but never serves a "
+      "committed-before-start stale value");
+
+  const auto scale = runtime::ExperimentScale::from_env();
+
+  Table table("Geo deployment (YCSB 20k keys, 50% read-only)",
+              {"WAN latency", "protocol", "kTx/s", "abort",
+               "stale reads", "mean gap"});
+  for (auto wan : {std::chrono::microseconds(2'000),
+                   std::chrono::microseconds(10'000)}) {
+    for (Protocol p : {Protocol::kFwKv, Protocol::kWalter}) {
+      ClusterConfig cfg;
+      cfg.num_nodes = 6;
+      cfg.protocol = p;
+      cfg.net.one_way_latency = scale.one_way_latency;
+      cfg.net.link_latency = net::SimNetwork::two_region_matrix(
+          6, 3, scale.one_way_latency, wan);
+      cfg.net.jitter = std::chrono::microseconds(50);
+      Cluster cluster(cfg);
+      ycsb::YcsbConfig ycfg;
+      ycfg.total_keys = 20'000;
+      ycfg.read_only_ratio = 0.5;
+      ycsb::YcsbWorkload workload(ycfg);
+      workload.load(cluster);
+
+      runtime::DriverConfig dcfg;
+      dcfg.clients_per_node = scale.clients_per_node;
+      dcfg.warmup = scale.warmup;
+      dcfg.measure = scale.measure;
+      auto result = runtime::run_driver(cluster, workload, dcfg);
+      table.add_row(
+          {Table::fmt(std::chrono::duration<double, std::milli>(wan).count(),
+                      0) + " ms",
+           protocol_name(p), Table::fmt(result.throughput_tps() / 1000),
+           Table::fmt_pct(result.abort_rate()),
+           Table::fmt_pct(result.stale_read_fraction(), 2),
+           Table::fmt(result.mean_freshness_gap(), 3)});
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 5: YCSB throughput (kTx/s) vs number of nodes, for 20% / 50%
+// read-only mixes and 50k / 500k total keys, FW-KV vs Walter vs
+// 2PC-baseline.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace fwkv;
+  using namespace fwkv::bench;
+  using runtime::Table;
+
+  print_header(
+      "Figure 5: YCSB throughput vs nodes",
+      "FW-KV within ~5% of Walter at low contention (500k keys), gap up to "
+      "~20% at 50k keys / 20 nodes; both PSI systems >3x over 2PC");
+
+  const auto scale = runtime::ExperimentScale::from_env();
+  const Protocol protocols[] = {Protocol::kFwKv, Protocol::kWalter,
+                                Protocol::kTwoPC};
+
+  for (double ro : {0.2, 0.5}) {
+    Table table("YCSB throughput (kTx/s), " +
+                    Table::fmt(ro * 100, 0) + "% read-only",
+                {"keys", "nodes", "FW-KV", "Walter", "2PC", "FW-KV/Walter",
+                 "FW-KV/2PC"});
+    for (std::uint64_t keys : {std::uint64_t{50'000}, std::uint64_t{500'000}}) {
+      for (std::uint32_t nodes : node_sweep()) {
+        std::vector<runtime::YcsbPoint> points(3);
+        for (int p = 0; p < 3; ++p) {
+          points[p].protocol = protocols[p];
+          points[p].num_nodes = nodes;
+          points[p].total_keys = keys;
+          points[p].read_only_ratio = ro;
+        }
+        auto results = runtime::run_ycsb_matrix(points, scale);
+        double tput[3];
+        for (int p = 0; p < 3; ++p) tput[p] = results[p].throughput_tps();
+        table.add_row({std::to_string(keys), std::to_string(nodes),
+                       Table::fmt(tput[0] / 1000.0),
+                       Table::fmt(tput[1] / 1000.0),
+                       Table::fmt(tput[2] / 1000.0),
+                       Table::fmt(tput[1] > 0 ? tput[0] / tput[1] : 0, 2),
+                       Table::fmt(tput[2] > 0 ? tput[0] / tput[2] : 0, 2)});
+      }
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 7: YCSB abort rate at 20 nodes when Propagate messages are
+// intentionally delayed by 1 ms (the paper's ~5x network slowdown), for
+// 20%/50% read-only mixes over 50k/100k/500k keys, FW-KV vs Walter.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace fwkv;
+  using namespace fwkv::bench;
+  using runtime::Table;
+
+  print_header(
+      "Figure 7: YCSB abort rate with delayed Propagate (20 nodes)",
+      "Walter aborts ~2x FW-KV on average when propagation lags, because "
+      "YCSB updates must read the freshest version to validate; without "
+      "delay both stay below ~10%");
+
+  const auto scale = runtime::ExperimentScale::from_env();
+  const std::uint32_t nodes = node_sweep().back();
+
+  for (double ro : {0.2, 0.5}) {
+    Table table("YCSB update abort rate, " + Table::fmt(ro * 100, 0) +
+                    "% read-only",
+                {"keys", "FW-KV", "Walter", "FW-KV delayed", "Walter delayed",
+                 "Walter/FW-KV (delayed)"});
+    for (std::uint64_t keys : {std::uint64_t{50'000}, std::uint64_t{100'000},
+                               std::uint64_t{500'000}}) {
+      std::vector<runtime::YcsbPoint> points;
+      for (auto delay : {std::chrono::nanoseconds{0},
+                         std::chrono::nanoseconds{std::chrono::milliseconds(1)}}) {
+        for (Protocol p : {Protocol::kFwKv, Protocol::kWalter}) {
+          runtime::YcsbPoint point;
+          point.protocol = p;
+          point.num_nodes = nodes;
+          point.total_keys = keys;
+          point.read_only_ratio = ro;
+          point.propagate_extra_delay = delay;
+          points.push_back(point);
+        }
+      }
+      auto results = runtime::run_ycsb_matrix(points, scale);
+      double rate[4];
+      for (int i = 0; i < 4; ++i) rate[i] = results[i].abort_rate();
+      table.add_row({std::to_string(keys), Table::fmt_pct(rate[0]),
+                     Table::fmt_pct(rate[1]), Table::fmt_pct(rate[2]),
+                     Table::fmt_pct(rate[3]),
+                     Table::fmt(rate[2] > 0 ? rate[3] / rate[2] : 0, 2)});
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figure 9(a): TPC-C abort rate at 20 nodes with 16/32 warehouses per node
+// when Propagate messages are delayed by 1 ms, FW-KV vs Walter.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace fwkv;
+  using namespace fwkv::bench;
+  using runtime::Table;
+
+  print_header(
+      "Figure 9(a): TPC-C abort rate with delayed Propagate (20 nodes)",
+      "Walter ~4x FW-KV under delay: TPC-C's first accessed key is usually "
+      "the warehouse, which FW-KV reads at the latest version; without "
+      "delay the two are comparable");
+
+  const auto scale = runtime::ExperimentScale::from_env();
+  const std::uint32_t nodes = node_sweep().back();
+
+  for (double ro : {0.2, 0.5}) {
+    Table table("TPC-C update abort rate, " + Table::fmt(ro * 100, 0) +
+                    "% read-only",
+                {"W/n", "FW-KV", "Walter", "FW-KV delayed", "Walter delayed",
+                 "Walter/FW-KV (delayed)"});
+    for (std::uint32_t wpn : {16u, 32u}) {
+      std::vector<runtime::TpccPoint> points;
+      for (auto delay : {std::chrono::nanoseconds{0},
+                         std::chrono::nanoseconds{std::chrono::milliseconds(1)}}) {
+        for (Protocol p : {Protocol::kFwKv, Protocol::kWalter}) {
+          runtime::TpccPoint point;
+          point.protocol = p;
+          point.num_nodes = nodes;
+          point.warehouses_per_node = wpn;
+          point.read_only_ratio = ro;
+          point.propagate_extra_delay = delay;
+          points.push_back(point);
+        }
+      }
+      auto results = runtime::run_tpcc_matrix(points, scale);
+      double rate[4];
+      for (int i = 0; i < 4; ++i) rate[i] = results[i].abort_rate();
+      table.add_row({std::to_string(wpn), Table::fmt_pct(rate[0]),
+                     Table::fmt_pct(rate[1]), Table::fmt_pct(rate[2]),
+                     Table::fmt_pct(rate[3]),
+                     Table::fmt(rate[2] > 0 ? rate[3] / rate[2] : 0, 2)});
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

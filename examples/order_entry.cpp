@@ -1,0 +1,60 @@
+// Order-entry example (§1's TPC-C motivation): runs the full TPC-C mix on
+// an FW-KV cluster and demonstrates the Order-Status property — the
+// read-only transaction's first access retrieves warehouse-homed data at
+// the latest version, and subsequent reads are consistent with it — by
+// reporting read freshness alongside throughput.
+//
+//   $ ./build/examples/order_entry
+#include <iostream>
+
+#include "runtime/driver.hpp"
+#include "runtime/report.hpp"
+#include "workload/tpcc.hpp"
+
+int main() {
+  using namespace fwkv;
+  using runtime::Table;
+
+  constexpr std::uint32_t kNodes = 4;
+
+  Table table("TPC-C on a 4-node cluster (2 warehouses/node, 50% read-only)",
+              {"protocol", "kTx/s", "abort rate", "stale reads",
+               "mean latency (us)"});
+
+  for (Protocol protocol :
+       {Protocol::kFwKv, Protocol::kWalter, Protocol::kTwoPC}) {
+    ClusterConfig config;
+    config.num_nodes = kNodes;
+    config.protocol = protocol;
+    config.net.one_way_latency = std::chrono::microseconds(100);
+    config.mapper = tpcc::TpccWorkload::make_mapper(kNodes);
+    Cluster cluster(config);
+
+    tpcc::TpccConfig tcfg;
+    tcfg.warehouses_per_node = 2;
+    tcfg.customers_per_district = 30;
+    tcfg.items = 300;
+    tcfg.read_only_ratio = 0.5;
+    tpcc::TpccWorkload workload(tcfg, kNodes);
+    workload.load(cluster);
+
+    runtime::DriverConfig dcfg;
+    dcfg.clients_per_node = 3;
+    dcfg.warmup = std::chrono::milliseconds(100);
+    dcfg.measure = std::chrono::milliseconds(600);
+    auto result = runtime::run_driver(cluster, workload, dcfg);
+
+    table.add_row({protocol_name(protocol),
+                   Table::fmt(result.throughput_tps() / 1000.0, 2),
+                   Table::fmt_pct(result.abort_rate()),
+                   Table::fmt_pct(result.stale_read_fraction(), 2),
+                   Table::fmt(result.mean_latency_us(), 0)});
+    cluster.quiesce();
+  }
+  table.print(std::cout);
+  std::cout << "FW-KV's Order-Status transactions read warehouse rows at the\n"
+               "latest committed version; Walter's may serve stale rows (see\n"
+               "the stale-read column), and 2PC pays a full commit round for\n"
+               "every read-only transaction.\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Quickstart: boot a 3-node FW-KV cluster, run an update transaction and a
+// read-only transaction, and peek at the protocol state.
+//
+//   $ ./build/examples/quickstart
+#include <iostream>
+
+#include "core/cluster.hpp"
+#include "core/session.hpp"
+
+int main() {
+  using namespace fwkv;
+
+  // 1. Configure and start a simulated cluster. Every node runs the FW-KV
+  //    concurrency control; keys are placed by consistent hashing.
+  ClusterConfig config;
+  config.num_nodes = 3;
+  config.protocol = Protocol::kFwKv;
+  config.net.one_way_latency = std::chrono::microseconds(50);
+  Cluster cluster(config);
+
+  // 2. Bulk-load initial data (installed as version 1 on the preferred
+  //    node of each key).
+  for (Key k = 0; k < 10; ++k) {
+    cluster.load(k, "initial-" + std::to_string(k));
+  }
+
+  // 3. Clients are sessions bound to a node. Transactions begin on the
+  //    client's node and may read or write keys stored anywhere.
+  Session alice = cluster.make_session(/*node=*/0, /*client_id=*/0);
+
+  Transaction tx = alice.begin();
+  std::cout << "read key 4 -> " << alice.read(tx, 4).value() << "\n";
+  alice.write(tx, 4, "updated-by-alice");
+  std::cout << "read-your-writes -> " << alice.read(tx, 4).value() << "\n";
+  if (alice.commit(tx)) {
+    std::cout << "update transaction committed\n";
+  }
+  cluster.quiesce();
+
+  // 4. Read-only transactions are declared up front; they never abort and,
+  //    with FW-KV, their first access to each node sees the latest
+  //    committed version.
+  Session bob = cluster.make_session(/*node=*/1, /*client_id=*/0);
+  Transaction ro = bob.begin(/*read_only=*/true);
+  std::cout << "bob reads key 4 -> " << bob.read(ro, 4).value() << "\n";
+  bob.commit(ro);
+
+  // 5. Cluster-wide statistics.
+  auto stats = cluster.aggregate_stats();
+  std::cout << "commits: " << stats.total_commits()
+            << " (read-only: " << stats.ro_commits
+            << "), reads served: " << stats.reads_served
+            << ", versions installed: " << stats.versions_installed << "\n";
+  return 0;
+}

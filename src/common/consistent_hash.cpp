@@ -1,0 +1,53 @@
+#include "common/consistent_hash.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fwkv {
+
+std::uint64_t hash_key(Key key) {
+  std::uint64_t x = key + 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+ConsistentHashRing::ConsistentHashRing(std::uint32_t num_nodes,
+                                       std::uint32_t vnodes_per_node)
+    : num_nodes_(num_nodes) {
+  assert(num_nodes > 0);
+  assert(vnodes_per_node > 0);
+  ring_.reserve(static_cast<std::size_t>(num_nodes) * vnodes_per_node);
+  for (std::uint32_t n = 0; n < num_nodes; ++n) {
+    for (std::uint32_t v = 0; v < vnodes_per_node; ++v) {
+      // Derive the vnode position from (node, vnode) so every cluster member
+      // computes an identical ring.
+      std::uint64_t h =
+          hash_key((static_cast<std::uint64_t>(n) << 32) | (v + 1));
+      ring_.push_back(Point{h, n});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+NodeId ConsistentHashRing::node_for(Key key) const {
+  const std::uint64_t h = hash_key(key);
+  auto it = std::lower_bound(ring_.begin(), ring_.end(), Point{h, 0});
+  if (it == ring_.end()) it = ring_.begin();
+  return it->node;
+}
+
+std::vector<double> ConsistentHashRing::sample_ownership(
+    std::size_t samples) const {
+  std::vector<std::size_t> counts(num_nodes_, 0);
+  for (std::size_t i = 0; i < samples; ++i) {
+    ++counts[node_for(static_cast<Key>(i) * 2654435761u + 17)];
+  }
+  std::vector<double> out(num_nodes_);
+  for (std::uint32_t n = 0; n < num_nodes_; ++n) {
+    out[n] = static_cast<double>(counts[n]) / static_cast<double>(samples);
+  }
+  return out;
+}
+
+}  // namespace fwkv

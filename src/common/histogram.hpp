@@ -1,0 +1,60 @@
+// Lock-free-ish metric primitives: counters, value accumulators, and a
+// log-bucketed latency histogram. All are safe for concurrent recording and
+// are merged single-threaded after a run.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace fwkv {
+
+/// Relaxed atomic counter. Metrics tolerate relaxed ordering; they are only
+/// read after the workload threads join.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t get() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Sum + count + max of a stream of values (e.g. collectedSet sizes, Fig. 6).
+class Accumulator {
+ public:
+  void record(std::uint64_t value);
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  double mean() const;
+  void reset();
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Histogram with power-of-two buckets over [1ns, ~36s] when fed
+/// nanoseconds; generic over any uint64 value stream.
+class LogHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void record(std::uint64_t value);
+  std::uint64_t count() const;
+  std::uint64_t value_at_percentile(double p) const;
+  double mean() const;
+  void merge_from(const LogHistogram& other);
+  void reset();
+  std::string summary(const std::string& unit = "ns") const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+}  // namespace fwkv

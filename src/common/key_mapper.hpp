@@ -1,0 +1,19 @@
+// Key -> preferred-node placement policy (§2.2 / §3.1 "preferred site").
+// The default policy is consistent hashing; workloads with a natural
+// partitioning (TPC-C warehouses) plug in their own mapper so a warehouse's
+// rows share a home node, as a real deployment would arrange.
+#pragma once
+
+#include "common/ids.hpp"
+
+namespace fwkv {
+
+class KeyMapper {
+ public:
+  virtual ~KeyMapper() = default;
+  /// Preferred node of `key`; must be deterministic and identical on every
+  /// node of the cluster.
+  virtual NodeId node_for(Key key) const = 0;
+};
+
+}  // namespace fwkv

@@ -1,0 +1,63 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace fwkv {
+namespace {
+
+std::atomic<int> g_level{-1};  // -1 = uninitialized
+
+int level_from_env() {
+  const char* env = std::getenv("FWKV_LOG");
+  if (env == nullptr) return static_cast<int>(LogLevel::kInfo);
+  if (std::strcmp(env, "debug") == 0) return 0;
+  if (std::strcmp(env, "info") == 0) return 1;
+  if (std::strcmp(env, "warn") == 0) return 2;
+  if (std::strcmp(env, "error") == 0) return 3;
+  return static_cast<int>(LogLevel::kInfo);
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+std::mutex& log_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+LogLevel log_level() {
+  int lv = g_level.load(std::memory_order_relaxed);
+  if (lv < 0) {
+    lv = level_from_env();
+    g_level.store(lv, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(lv);
+}
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void log_message(LogLevel level, const std::string& msg) {
+  std::lock_guard<std::mutex> lock(log_mutex());
+  std::fprintf(stderr, "[fwkv %s] %s\n", level_name(level), msg.c_str());
+}
+
+}  // namespace fwkv

@@ -1,0 +1,46 @@
+// Minimal leveled logger. The hot paths never log; this exists for the
+// examples, the experiment runner, and debugging aid in tests.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace fwkv {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped. Defaults to kInfo;
+/// set FWKV_LOG=debug|info|warn|error in the environment to override.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace fwkv
+
+#define FWKV_LOG(level)                                  \
+  if (static_cast<int>(level) < static_cast<int>(::fwkv::log_level())) { \
+  } else                                                 \
+    ::fwkv::detail::LogLine(level)
+
+#define FWKV_DEBUG FWKV_LOG(::fwkv::LogLevel::kDebug)
+#define FWKV_INFO FWKV_LOG(::fwkv::LogLevel::kInfo)
+#define FWKV_WARN FWKV_LOG(::fwkv::LogLevel::kWarn)
+#define FWKV_ERROR FWKV_LOG(::fwkv::LogLevel::kError)

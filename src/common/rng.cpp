@@ -1,0 +1,120 @@
+#include "common/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <string>
+
+namespace fwkv {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+constexpr char kAlnum[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's nearly-divisionless bounded generation; the modulo bias is
+  // negligible for workload purposes but we reject anyway for correctness.
+  std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    std::uint64_t r = next_u64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::uint64_t Rng::next_range(std::uint64_t lo, std::uint64_t hi) {
+  assert(lo <= hi);
+  return lo + next_below(hi - lo + 1);
+}
+
+double Rng::next_double() {
+  // 53 random mantissa bits.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::next_bool(double p) { return next_double() < p; }
+
+std::uint64_t Rng::nurand(std::uint64_t a, std::uint64_t x, std::uint64_t y) {
+  // TPC-C clause 2.1.6 with C = 0 (constant run-time offset does not affect
+  // the distribution's shape, only its anonymity requirements).
+  return ((next_range(0, a) | next_range(x, y)) % (y - x + 1)) + x;
+}
+
+std::string Rng::next_astring(std::size_t lo, std::size_t hi) {
+  std::size_t len = static_cast<std::size_t>(next_range(lo, hi));
+  std::string s(len, '\0');
+  for (auto& c : s) c = kAlnum[next_below(sizeof(kAlnum) - 1)];
+  return s;
+}
+
+std::string Rng::next_nstring(std::size_t lo, std::size_t hi) {
+  std::size_t len = static_cast<std::size_t>(next_range(lo, hi));
+  std::string s(len, '\0');
+  for (auto& c : s) c = static_cast<char>('0' + next_below(10));
+  return s;
+}
+
+ZipfianGenerator::ZipfianGenerator(std::uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  assert(n > 0);
+  if (theta_ <= 0.0) {
+    alpha_ = zetan_ = eta_ = 0.0;
+    return;
+  }
+  alpha_ = 1.0 / (1.0 - theta_);
+  zetan_ = zeta(n_, theta_);
+  const double zeta2 = zeta(2, theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2 / zetan_);
+}
+
+std::uint64_t ZipfianGenerator::next(Rng& rng) {
+  if (theta_ <= 0.0) return rng.next_below(n_);
+  const double u = rng.next_double();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const auto idx = static_cast<std::uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return idx >= n_ ? n_ - 1 : idx;
+}
+
+double ZipfianGenerator::zeta(std::uint64_t n, double theta) {
+  double sum = 0.0;
+  for (std::uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+}  // namespace fwkv

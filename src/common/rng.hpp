@@ -1,0 +1,69 @@
+// Deterministic random number generation for workloads and simulation.
+//
+// Each client thread owns its own Rng so experiments are reproducible given
+// a seed, independent of thread scheduling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fwkv {
+
+/// xoshiro256** — fast, high-quality, and with a well-defined seeding
+/// procedure (SplitMix64), so the same seed yields the same workload on any
+/// platform.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bull);
+
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t next_range(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial with probability p.
+  bool next_bool(double p);
+
+  /// TPC-C NURand(A, x, y) non-uniform distribution (clause 2.1.6).
+  std::uint64_t nurand(std::uint64_t a, std::uint64_t x, std::uint64_t y);
+
+  /// Random alphanumeric string of length in [lo, hi] (TPC-C a-string).
+  std::string next_astring(std::size_t lo, std::size_t hi);
+
+  /// Random numeric string of length in [lo, hi] (TPC-C n-string).
+  std::string next_nstring(std::size_t lo, std::size_t hi);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Zipfian key-popularity distribution over [0, n) with parameter theta,
+/// computed with the Gray et al. approximation used by YCSB's
+/// ZipfianGenerator. theta = 0 degenerates to uniform.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(std::uint64_t n, double theta);
+
+  std::uint64_t next(Rng& rng);
+
+  std::uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  static double zeta(std::uint64_t n, double theta);
+
+  std::uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+};
+
+}  // namespace fwkv

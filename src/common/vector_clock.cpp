@@ -1,0 +1,72 @@
+#include "common/vector_clock.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace fwkv {
+
+void VectorClock::merge(const VectorClock& other) {
+  assert(entries_.size() == other.entries_.size());
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    entries_[i] = std::max(entries_[i], other.entries_[i]);
+  }
+}
+
+bool VectorClock::leq(const VectorClock& other) const {
+  assert(entries_.size() == other.entries_.size());
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i] > other.entries_[i]) return false;
+  }
+  return true;
+}
+
+bool VectorClock::leq_masked(const VectorClock& other,
+                             const std::vector<bool>& mask) const {
+  assert(entries_.size() == other.entries_.size());
+  assert(entries_.size() == mask.size());
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (mask[i] && entries_[i] > other.entries_[i]) return false;
+  }
+  return true;
+}
+
+bool VectorClock::eq_masked(const VectorClock& other,
+                            const std::vector<bool>& mask) const {
+  assert(entries_.size() == other.entries_.size());
+  assert(entries_.size() == mask.size());
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (mask[i] && entries_[i] != other.entries_[i]) return false;
+  }
+  return true;
+}
+
+std::string VectorClock::to_string() const {
+  std::ostringstream os;
+  os << '<';
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (i) os << ',';
+    os << entries_[i];
+  }
+  os << '>';
+  return os.str();
+}
+
+void AccessVector::reset() {
+  std::fill(read_.begin(), read_.end(), false);
+}
+
+bool AccessVector::any() const {
+  return std::any_of(read_.begin(), read_.end(), [](bool b) { return b; });
+}
+
+std::string AccessVector::to_string() const {
+  std::string s;
+  s.reserve(read_.size() + 2);
+  s.push_back('[');
+  for (bool b : read_) s.push_back(b ? '1' : '0');
+  s.push_back(']');
+  return s;
+}
+
+}  // namespace fwkv

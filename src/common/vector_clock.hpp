@@ -1,0 +1,88 @@
+// Vector clocks sized to the cluster, plus the per-node boolean access
+// vector ("T.hasRead") used by FW-KV to freeze snapshots per contacted site.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace fwkv {
+
+/// Fixed-width logical vector clock. Entry j carries the sequence number of
+/// the last transaction originated at node j that is reflected in the state
+/// this clock describes (a node's siteVC, a transaction's T.VC, or a
+/// version's commit VC).
+class VectorClock {
+ public:
+  VectorClock() = default;
+  explicit VectorClock(std::size_t n) : entries_(n, 0) {}
+  VectorClock(std::initializer_list<SeqNo> init) : entries_(init) {}
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  SeqNo operator[](std::size_t i) const { return entries_[i]; }
+  SeqNo& operator[](std::size_t i) { return entries_[i]; }
+  SeqNo at(std::size_t i) const { return entries_.at(i); }
+
+  /// Entry-wise maximum with `other` (Alg. 2 line 9). Sizes must match.
+  void merge(const VectorClock& other);
+
+  /// True iff every entry of *this is <= the matching entry of `other`.
+  bool leq(const VectorClock& other) const;
+
+  /// True iff *this <= other restricted to the positions where mask[i] is
+  /// true. This is the FW-KV visibility rule (Alg. 3 lines 4/13): only the
+  /// entries of sites the transaction has already read from constrain
+  /// version visibility.
+  bool leq_masked(const VectorClock& other,
+                  const std::vector<bool>& mask) const;
+
+  /// True iff *this == other restricted to positions where mask[i] is true.
+  bool eq_masked(const VectorClock& other, const std::vector<bool>& mask) const;
+
+  friend bool operator==(const VectorClock& a, const VectorClock& b) {
+    return a.entries_ == b.entries_;
+  }
+  friend bool operator!=(const VectorClock& a, const VectorClock& b) {
+    return !(a == b);
+  }
+
+  const std::vector<SeqNo>& entries() const { return entries_; }
+  std::vector<SeqNo>& entries() { return entries_; }
+
+  std::string to_string() const;
+
+ private:
+  std::vector<SeqNo> entries_;
+};
+
+/// "T.hasRead": which sites a transaction has already read from. Once true,
+/// the transaction's visible timestamp w.r.t. that site is frozen (§4.1).
+class AccessVector {
+ public:
+  AccessVector() = default;
+  explicit AccessVector(std::size_t n) : read_(n, false) {}
+
+  std::size_t size() const { return read_.size(); }
+  bool get(std::size_t i) const { return read_[i]; }
+  void set(std::size_t i) { read_[i] = true; }
+  void reset();
+
+  /// True iff at least one site has been read from. The FW-KV update-read
+  /// exclusion rule only applies once a snapshot has been partially fixed
+  /// (first reads always return the latest version, §4.3 / Fig. 4).
+  bool any() const;
+
+  const std::vector<bool>& bits() const { return read_; }
+  std::vector<bool>& bits() { return read_; }
+
+  std::string to_string() const;
+
+ private:
+  std::vector<bool> read_;
+};
+
+}  // namespace fwkv

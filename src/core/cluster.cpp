@@ -1,0 +1,76 @@
+#include "core/cluster.hpp"
+
+#include <cassert>
+
+#include "core/mv_node.hpp"
+#include "core/session.hpp"
+#include "twopc/twopc_node.hpp"
+
+namespace fwkv {
+
+Cluster::Cluster(ClusterConfig config)
+    : config_(config),
+      mapper_(config.mapper
+                  ? config.mapper
+                  : std::make_shared<const ConsistentHashRing>(
+                        config.num_nodes, config.ring_vnodes)),
+      network_(std::make_unique<net::SimNetwork>(config.num_nodes,
+                                                 config.net)) {
+  assert(config_.num_nodes > 0);
+  ctx_.network = network_.get();
+  ctx_.mapper = mapper_.get();
+  ctx_.config = config_.protocol_config;
+  ctx_.num_nodes = config_.num_nodes;
+
+  nodes_.reserve(config_.num_nodes);
+  for (NodeId n = 0; n < config_.num_nodes; ++n) {
+    switch (config_.protocol) {
+      case Protocol::kFwKv:
+        nodes_.push_back(std::make_unique<FwKvNode>(n, ctx_));
+        break;
+      case Protocol::kWalter:
+        nodes_.push_back(std::make_unique<WalterNode>(n, ctx_));
+        break;
+      case Protocol::kTwoPC:
+        nodes_.push_back(std::make_unique<TwoPcNode>(n, ctx_));
+        break;
+    }
+    network_->register_endpoint(n, nodes_.back().get());
+  }
+}
+
+Cluster::~Cluster() {
+  // Asynchronous messages (Decide, Propagate, Remove) may still be in
+  // flight when the cluster goes out of scope. Tear the network down first:
+  // its destructor drains the executors, so no handler can touch a node
+  // after the nodes start being destroyed.
+  network_.reset();
+}
+
+void Cluster::load(Key key, Value value) {
+  nodes_[mapper_->node_for(key)]->load(key, std::move(value));
+}
+
+Session Cluster::make_session(NodeId node, std::uint32_t client_id) {
+  assert(node < config_.num_nodes);
+  return Session(*this, node, client_id);
+}
+
+bool Cluster::quiesce(std::chrono::nanoseconds timeout) {
+  // Propagation is batched; push the batches out so the quiescent state
+  // reflects every commit that returned to a client.
+  for (auto& node : nodes_) node->quiesce_flush();
+  return network_->wait_quiescent(timeout);
+}
+
+NodeStats::Snapshot Cluster::aggregate_stats() const {
+  NodeStats::Snapshot total;
+  for (const auto& node : nodes_) total.merge(node->stats().snapshot());
+  return total;
+}
+
+void Cluster::reset_stats() {
+  for (auto& node : nodes_) node->stats().reset();
+}
+
+}  // namespace fwkv

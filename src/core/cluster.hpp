@@ -1,0 +1,81 @@
+// Public entry point: a simulated FW-KV / Walter / 2PC-baseline cluster.
+//
+//   fwkv::ClusterConfig cfg;
+//   cfg.num_nodes = 5;
+//   cfg.protocol = fwkv::Protocol::kFwKv;
+//   fwkv::Cluster cluster(cfg);
+//   cluster.load(42, "hello");
+//   auto session = cluster.make_session(/*node=*/0, /*client=*/0);
+//   auto tx = session.begin();
+//   session.write(tx, 42, "world");
+//   session.commit(tx);
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "core/kv_node.hpp"
+#include "core/protocol.hpp"
+#include "net/network.hpp"
+
+namespace fwkv {
+
+class Session;
+
+struct ClusterConfig {
+  std::uint32_t num_nodes = 4;
+  Protocol protocol = Protocol::kFwKv;
+  net::NetConfig net;
+  ProtocolConfig protocol_config;
+  /// Virtual nodes per physical node on the default consistent-hash ring.
+  std::uint32_t ring_vnodes = 128;
+  /// Custom key placement (e.g. TPC-C's warehouse-home placement). When
+  /// null a ConsistentHashRing over num_nodes is used.
+  std::shared_ptr<const KeyMapper> mapper;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  std::uint32_t num_nodes() const { return config_.num_nodes; }
+  Protocol protocol() const { return config_.protocol; }
+  const ClusterConfig& config() const { return config_; }
+
+  /// Preferred site of `key` (§3.1), identical on every node.
+  NodeId node_for_key(Key key) const { return mapper_->node_for(key); }
+
+  /// Pre-run bulk load: installs the initial version on the preferred node.
+  void load(Key key, Value value);
+
+  /// A client handle bound to `node` (§2.3: clients begin transactions on
+  /// the co-located node). `client_id` must be unique per (node, client).
+  Session make_session(NodeId node, std::uint32_t client_id);
+
+  KvNode& node(NodeId id) { return *nodes_[id]; }
+  const KvNode& node(NodeId id) const { return *nodes_[id]; }
+  net::SimNetwork& network() { return *network_; }
+  const KeyMapper& mapper() const { return *mapper_; }
+
+  /// Wait until no message is in flight and no node buffers pending events.
+  bool quiesce(
+      std::chrono::nanoseconds timeout = std::chrono::seconds(10));
+
+  /// Sum of all nodes' statistics.
+  NodeStats::Snapshot aggregate_stats() const;
+  void reset_stats();
+
+ private:
+  ClusterConfig config_;
+  std::shared_ptr<const KeyMapper> mapper_;
+  std::unique_ptr<net::SimNetwork> network_;
+  ClusterContext ctx_;
+  std::vector<std::unique_ptr<KvNode>> nodes_;
+};
+
+}  // namespace fwkv

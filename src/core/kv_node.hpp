@@ -1,0 +1,59 @@
+// Abstract protocol node: the unit of deployment (§2.1). A node is both a
+// server (message handlers run on its executor lanes) and the coordinator
+// host for transactions begun by clients co-located with it.
+#pragma once
+
+#include <optional>
+
+#include "core/node_stats.hpp"
+#include "core/protocol.hpp"
+#include "core/transaction.hpp"
+#include "net/network.hpp"
+
+namespace fwkv {
+
+class KvNode : public net::NodeEndpoint {
+ public:
+  KvNode(NodeId id, ClusterContext& ctx) : id_(id), ctx_(ctx) {}
+  ~KvNode() override = default;
+
+  NodeId id() const { return id_; }
+  NodeStats& stats() { return stats_; }
+  const NodeStats& stats() const { return stats_; }
+
+  // ---- client-side API (invoked from client threads on this node) ----
+
+  /// Alg. 1: initialize T.VC from this node's siteVC, clear T.hasRead.
+  virtual void begin(Transaction& tx) = 0;
+
+  /// Alg. 2: read-your-writes, then remote/local ReadRequest.
+  /// nullopt only if the key does not exist anywhere.
+  virtual std::optional<Value> read(Transaction& tx, Key key) = 0;
+
+  /// §4.2 lazy update: buffer into T.writeset.
+  void write(Transaction& tx, Key key, Value value) {
+    tx.buffer_write(key, std::move(value));
+  }
+
+  /// Alg. 4. Returns true on commit. On false the transaction is aborted
+  /// and tx.abort_reason() says why.
+  virtual bool commit(Transaction& tx) = 0;
+
+  /// Client-initiated abort: releases nothing (locks are only taken during
+  /// commit) but tells read-only bookkeeping to clean up.
+  virtual void abort(Transaction& tx) { tx.mark_aborted(AbortReason::kUserAbort); }
+
+  // ---- data loading (pre-run, single-writer) ----
+  virtual void load(Key key, Value value) = 0;
+
+  /// Push out any batched asynchronous work immediately (propagation
+  /// batches). Called by Cluster::quiesce; default: nothing to flush.
+  virtual void quiesce_flush() {}
+
+ protected:
+  NodeId id_;
+  ClusterContext& ctx_;
+  NodeStats stats_;
+};
+
+}  // namespace fwkv

@@ -1,0 +1,545 @@
+#include "core/mv_node.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+#include "net/network.hpp"
+
+namespace fwkv {
+
+using net::DecideMessage;
+using net::Message;
+using net::PrepareRequest;
+using net::PropagateMessage;
+using net::ReadRequest;
+using net::ReadReturn;
+using net::RemoveMessage;
+using net::VoteFail;
+using net::VoteReply;
+using net::WriteEntry;
+
+MvNodeBase::MvNodeBase(NodeId id, ClusterContext& ctx)
+    : KvNode(id, ctx),
+      site_vc_(ctx.num_nodes),
+      pending_(ctx.num_nodes),
+      next_unsent_(ctx.num_nodes, 1) {
+  // Kick off the periodic propagation flush (Walter propagates outside the
+  // transaction critical path). The task re-arms itself on the timer.
+  ctx_.network->schedule(ctx_.config.propagate_flush_interval,
+                         [this] { flush_timer_tick(); });
+}
+
+// ---------------------------------------------------------------------------
+// Client-side operations (run on the client's thread, co-located with us).
+// ---------------------------------------------------------------------------
+
+void MvNodeBase::begin(Transaction& tx) {
+  // Alg. 1: T.VC <- siteVC_i; hasRead[*] <- false.
+  std::lock_guard<std::mutex> lock(site_mu_);
+  tx.vc() = site_vc_;
+  tx.has_read().reset();
+}
+
+net::TxDescriptor MvNodeBase::descriptor(const Transaction& tx) const {
+  net::TxDescriptor d;
+  d.id = tx.id();
+  d.read_only = tx.read_only();
+  d.vc = tx.vc();
+  d.has_read = tx.has_read();
+  return d;
+}
+
+std::optional<Value> MvNodeBase::read(Transaction& tx, Key key) {
+  // Alg. 2 lines 2-4: read-your-writes from the private write buffer.
+  if (auto written = tx.written_value(key)) return written;
+  // Client-side repeatable-read cache: a re-read must return the value this
+  // transaction already observed (and must not re-enter the version-access
+  // -set logic with its own id already present).
+  if (auto cached = tx.cached_read(key)) return cached;
+
+  const NodeId target = ctx_.mapper->node_for(key);  // Alg. 2 line 5
+  ReadRequest req;
+  req.tx = descriptor(tx);
+  req.key = key;
+  auto call = ctx_.network->send_request(id_, target, std::move(req));
+  auto reply = call.await(ctx_.config.rpc_timeout);
+  if (!reply.has_value()) return std::nullopt;  // unreachable in practice
+  auto& rr = std::get<ReadReturn>(*reply);
+  if (!rr.found) return std::nullopt;
+
+  if (fresh_reads()) {
+    // Alg. 2 lines 8-9: freeze this site's snapshot and merge the version's
+    // commit clock into the reading snapshot; the entry for the contacted
+    // site advances to the site's current sequence (Fig. 2: "T1 also
+    // updates T1.VC[2] to the latest timestamp of N2"). Walter's snapshot
+    // is fixed at begin and never advances (§3.2).
+    tx.has_read().set(target);
+    tx.vc().merge(rr.version_vc);
+    if (rr.server_seq > tx.vc()[target]) tx.vc()[target] = rr.server_seq;
+  }
+  if (tx.read_only() && track_antideps()) {
+    // Alg. 2 lines 10-12: remember read keys to dispatch Remove later.
+    tx.record_read_key(key);
+  }
+  if (!tx.read_only()) {
+    // Remember the version observed so that, if this key is later written,
+    // prepare can certify it "has not been overwritten meanwhile" (§4.4)
+    // by version identity. The origin-entry clock comparison alone (Alg. 5
+    // line 29) is defeated when a later read merges an unrelated commit's
+    // clock into T.VC (Alg. 2 line 9) that covers the conflicting writer's
+    // entry — a read-modify-write could then overwrite a version it never
+    // saw. The id check closes that hole; blind writes still use the
+    // clock rule.
+    tx.record_validation(key, rr.version_id);
+  }
+  tx.record_read_freshness(rr.version_id, rr.latest_id);
+  tx.cache_read(key, rr.value);
+  return rr.value;
+}
+
+bool MvNodeBase::commit(Transaction& tx) {
+  // Alg. 4 lines 2-8: read-only commit is a local decision plus async
+  // cleanup of the transaction's visible-read traces.
+  if (tx.write_set().empty()) {
+    if (track_antideps()) {
+      // One Remove per contacted site suffices: the handler (Alg. 6 lines
+      // 5-10) cleans every access-set on the node through the reverse index.
+      std::vector<NodeId> sites;
+      for (Key k : tx.read_keys()) {
+        NodeId s = ctx_.mapper->node_for(k);
+        if (std::find(sites.begin(), sites.end(), s) == sites.end()) {
+          sites.push_back(s);
+          ctx_.network->send(id_, s, RemoveMessage{tx.id(), k});
+        }
+      }
+    }
+    tx.mark_committed();
+    stats_.ro_commits.add();
+    return true;
+  }
+
+  // Alg. 4 lines 9-21: 2PC over the preferred sites of the write-set.
+  std::map<NodeId, std::vector<WriteEntry>> by_site;
+  for (const auto& [key, value] : tx.write_set()) {
+    by_site[ctx_.mapper->node_for(key)].push_back(WriteEntry{key, value});
+  }
+
+  std::vector<net::RpcCall> calls;
+  std::vector<NodeId> participants;
+  calls.reserve(by_site.size());
+  for (auto& [site, writes] : by_site) {
+    PrepareRequest prep;
+    prep.tx = tx.id();
+    prep.tx_vc = tx.vc();
+    prep.writes = writes;
+    // Attach the observed version of every written key this transaction
+    // also read (read-modify-write); the participant validates identity.
+    for (const auto& w : writes) {
+      auto it = tx.validation_set().find(w.key);
+      if (it != tx.validation_set().end()) {
+        prep.reads.push_back(net::ReadValidationEntry{w.key, it->second});
+      }
+    }
+    participants.push_back(site);
+    calls.push_back(ctx_.network->send_request(id_, site, std::move(prep)));
+  }
+
+  bool outcome = true;
+  AbortReason reason = AbortReason::kNone;
+  std::vector<TxId> collected;
+  for (auto& call : calls) {
+    auto reply = call.await(ctx_.config.rpc_timeout);
+    if (!reply.has_value()) {
+      outcome = false;
+      if (reason == AbortReason::kNone) reason = AbortReason::kVoteTimeout;
+      continue;  // keep draining votes so every participant gets a Decide
+    }
+    const auto& vote = std::get<VoteReply>(*reply);
+    if (!vote.ok) {
+      outcome = false;
+      if (reason == AbortReason::kNone) {
+        reason = vote.fail_reason == VoteFail::kLock
+                     ? AbortReason::kLockTimeout
+                     : AbortReason::kValidation;
+      }
+    } else {
+      collected.insert(collected.end(), vote.collected_set.begin(),
+                       vote.collected_set.end());
+    }
+  }
+
+  SeqNo seq = 0;
+  VectorClock commit_vc;
+  std::vector<std::pair<NodeId, PropagateMessage>> flushes;
+  if (outcome) {
+    // Alg. 4 line 19 + dedupe: T.collectedSet is a set.
+    std::sort(collected.begin(), collected.end());
+    collected.erase(std::unique(collected.begin(), collected.end()),
+                    collected.end());
+    if (track_antideps()) {
+      stats_.collected_set_size.record(collected.size());  // Fig. 6 metric
+    }
+    // Alg. 4 lines 22-25: take the next local sequence number, finalize the
+    // commit vector clock, and record who receives this seq as a Decide.
+    std::lock_guard<std::mutex> lock(site_mu_);
+    seq = ++curr_seq_;
+    commit_vc = site_vc_;
+    commit_vc[id_] = seq;
+    CommitRecord rec;
+    rec.decide_dests = participants;
+    if (by_site.count(id_) == 0) rec.decide_dests.push_back(id_);
+    commit_log_.push_back(std::move(rec));
+    // Flush pending Propagate ranges to the participants right now: their
+    // Decide application (Alg. 5 line 16) must not stall on a batch that
+    // is still waiting for the periodic flush.
+    for (NodeId p : participants) {
+      if (p != id_) collect_ranges_locked(p, flushes);
+    }
+  }
+  for (auto& [dest, msg] : flushes) {
+    ctx_.network->send(id_, dest, msg);
+  }
+
+  // Alg. 4 line 26: Decide to the participants plus ourselves (the
+  // coordinator must advance its own siteVC entry in seq order too).
+  bool self_is_participant = by_site.count(id_) > 0;
+  for (NodeId site : participants) {
+    DecideMessage d;
+    d.tx = tx.id();
+    d.outcome = outcome;
+    d.origin = id_;
+    d.seq_no = seq;
+    d.commit_vc = commit_vc;
+    d.writes = by_site[site];
+    d.collected_set = collected;
+    ctx_.network->send(id_, site, std::move(d));
+  }
+  if (!self_is_participant && outcome) {
+    DecideMessage d;
+    d.tx = tx.id();
+    d.outcome = true;
+    d.origin = id_;
+    d.seq_no = seq;
+    d.commit_vc = commit_vc;
+    ctx_.network->send(id_, id_, std::move(d));
+  }
+
+  if (outcome) {
+    // Alg. 4 line 27: the asynchronous Propagate to all other nodes is
+    // batched; the periodic flush (flush_timer_tick) carries it.
+    tx.mark_committed();
+    stats_.update_commits.add();
+    return true;
+  }
+
+  tx.mark_aborted(reason);
+  switch (reason) {
+    case AbortReason::kLockTimeout:
+      stats_.aborts_lock.add();
+      break;
+    case AbortReason::kValidation:
+      stats_.aborts_validation.add();
+      break;
+    default:
+      stats_.aborts_vote_timeout.add();
+      break;
+  }
+  return false;
+}
+
+void MvNodeBase::load(Key key, Value value) {
+  store_.load(key, std::move(value), ctx_.num_nodes);
+}
+
+// ---------------------------------------------------------------------------
+// Server-side message handlers.
+// ---------------------------------------------------------------------------
+
+void MvNodeBase::handle_message(Message msg, NodeId /*from*/) {
+  std::visit(
+      [this](auto&& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, ReadRequest>) {
+          on_read_request(m);
+        } else if constexpr (std::is_same_v<T, PrepareRequest>) {
+          on_prepare(m);
+        } else if constexpr (std::is_same_v<T, DecideMessage>) {
+          on_decide(std::move(m));
+        } else if constexpr (std::is_same_v<T, PropagateMessage>) {
+          on_propagate(m);
+        } else if constexpr (std::is_same_v<T, RemoveMessage>) {
+          on_remove(m);
+        } else {
+          assert(false && "replies are routed by the network, not here");
+        }
+      },
+      std::move(msg));
+}
+
+std::size_t MvNodeBase::pending_work() const {
+  return pending_count_.load(std::memory_order_acquire);
+}
+
+void MvNodeBase::read_lock_shared(Key key, TxId tx) {
+  // Reads never give up: they wait out concurrent prepare->decide windows.
+  // The data/control lane split guarantees the Decide that releases the
+  // exclusive lock can always run.
+  while (!locks_.lock_shared(key, tx, ctx_.config.lock_timeout)) {
+  }
+}
+
+void MvNodeBase::on_read_request(const ReadRequest& req) {
+  stats_.reads_served.add();
+  store::ReadResult r;
+  if (!fresh_reads()) {
+    // Walter: no read/update distinction and no access-set maintenance.
+    // The shared lock is still taken: a participant holds its write locks
+    // from prepare until the decide applies, so a reader whose snapshot
+    // already covers that commit waits for the installation instead of
+    // being served a torn (pre-commit) version of the key.
+    read_lock_shared(req.key, req.tx.id);
+    r = store_.read_walter(req.key, req.tx.vc);
+    locks_.unlock_shared(req.key, req.tx.id);
+  } else if (req.tx.read_only) {
+    // Alg. 3 lines 2-10 under a shared lock (read handlers exclude update
+    // commit handlers but run concurrently with each other).
+    read_lock_shared(req.key, req.tx.id);
+    r = store_.read_read_only(req.key, req.tx.vc, req.tx.has_read.bits(),
+                              req.tx.id);
+    locks_.unlock_shared(req.key, req.tx.id);
+  } else {
+    // Alg. 3 lines 11-18; the conservative exclusion applies only once the
+    // snapshot is partially fixed (first reads return the latest version).
+    read_lock_shared(req.key, req.tx.id);
+    r = store_.read_update(req.key, req.tx.vc, req.tx.has_read.bits(),
+                           req.tx.has_read.any());
+    locks_.unlock_shared(req.key, req.tx.id);
+  }
+
+  ReadReturn ret;
+  ret.rpc_id = req.rpc_id;
+  ret.found = r.found;
+  ret.value = std::move(r.value);
+  ret.version_vc = std::move(r.vc);
+  ret.version_id = r.id;
+  ret.version_origin = r.origin;
+  ret.version_seq = r.seq;
+  ret.latest_id = r.latest_id;
+  if (fresh_reads()) {
+    std::lock_guard<std::mutex> lock(site_mu_);
+    ret.server_seq = site_vc_[id_];
+  }
+  ctx_.network->send(id_, req.reply_to, std::move(ret));
+}
+
+void MvNodeBase::on_prepare(const PrepareRequest& req) {
+  // Alg. 5 lines 1-13.
+  std::vector<Key> keys;
+  keys.reserve(req.writes.size());
+  for (const auto& w : req.writes) keys.push_back(w.key);
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+
+  VoteReply vote;
+  vote.rpc_id = req.rpc_id;
+  if (!locks_.lock_all_exclusive(keys, req.tx, ctx_.config.lock_timeout)) {
+    vote.ok = false;
+    vote.fail_reason = VoteFail::kLock;
+  } else {
+    bool valid = true;
+    for (Key k : keys) {
+      // Read-modify-write keys validate by version identity; blind writes
+      // fall back to the clock rule of Alg. 5 lines 27-34.
+      const net::ReadValidationEntry* observed = nullptr;
+      for (const auto& r : req.reads) {
+        if (r.key == k) {
+          observed = &r;
+          break;
+        }
+      }
+      const bool ok = observed != nullptr
+                          ? store_.validate_key_version(k, observed->version)
+                          : store_.validate_key(k, req.tx_vc);
+      if (!ok) {
+        valid = false;
+        break;
+      }
+    }
+    if (!valid) {
+      locks_.unlock_all_exclusive(keys, req.tx);
+      vote.ok = false;
+      vote.fail_reason = VoteFail::kValidation;
+    } else {
+      vote.ok = true;
+      if (track_antideps()) {
+        // Alg. 5 lines 8-10: gather the read-only transactions that have an
+        // anti-dependency with this writer.
+        store_.collect_access_sets(keys, vote.collected_set);
+      }
+      std::lock_guard<std::mutex> lock(prepared_mu_);
+      prepared_[req.tx] = std::move(keys);
+    }
+  }
+  ctx_.network->send(id_, req.reply_to, std::move(vote));
+}
+
+void MvNodeBase::on_decide(DecideMessage&& m) {
+  // Alg. 5 lines 14-26.
+  if (!m.outcome) {
+    release_prepared(m.tx);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(site_mu_);
+  if (site_vc_[m.origin] + 1 == m.seq_no) {
+    apply_decide_locked(m);
+    drain_pending_locked(m.origin);
+  } else if (site_vc_[m.origin] >= m.seq_no) {
+    // Duplicate delivery; already applied.
+  } else {
+    // "wait until siteVC_i[j] = T.seqNo - 1" — buffered, not blocked.
+    const NodeId origin = m.origin;
+    const SeqNo seq = m.seq_no;
+    PendingEvent ev;
+    ev.is_decide = true;
+    ev.decide = std::move(m);
+    pending_[origin].emplace(seq, std::move(ev));
+    pending_count_.fetch_add(1, std::memory_order_release);
+    stats_.events_buffered.add();
+  }
+}
+
+void MvNodeBase::apply_decide_locked(DecideMessage& m) {
+  for (auto& w : m.writes) {
+    store_.install(w.key, std::move(w.value), m.commit_vc, m.origin, m.seq_no,
+                   m.collected_set);
+  }
+  stats_.versions_installed.add(m.writes.size());
+  site_vc_[m.origin] = m.seq_no;  // Alg. 5 line 21
+  release_prepared(m.tx);         // Alg. 5 line 22
+  stats_.decides_applied.add();
+}
+
+void MvNodeBase::on_propagate(const PropagateMessage& m) {
+  // Alg. 6 lines 1-4, generalized to ranges: the range is applicable once
+  // siteVC has reached from_seq - 1 (no seq in (from_seq, to_seq] carries
+  // a Decide for this node, so the whole range applies atomically).
+  std::lock_guard<std::mutex> lock(site_mu_);
+  if (m.to_seq <= site_vc_[m.origin]) return;  // duplicate
+  if (m.from_seq <= site_vc_[m.origin] + 1) {
+    site_vc_[m.origin] = m.to_seq;
+    stats_.propagates_applied.add();
+    drain_pending_locked(m.origin);
+  } else {
+    PendingEvent ev;
+    ev.propagate = m;
+    pending_[m.origin].emplace(m.from_seq, std::move(ev));
+    pending_count_.fetch_add(1, std::memory_order_release);
+    stats_.events_buffered.add();
+  }
+}
+
+void MvNodeBase::drain_pending_locked(NodeId origin) {
+  auto& queue = pending_[origin];
+  for (;;) {
+    auto it = queue.find(site_vc_[origin] + 1);
+    if (it == queue.end()) return;
+    PendingEvent ev = std::move(it->second);
+    queue.erase(it);
+    pending_count_.fetch_sub(1, std::memory_order_release);
+    if (ev.is_decide) {
+      apply_decide_locked(ev.decide);
+    } else {
+      site_vc_[origin] = ev.propagate.to_seq;
+      stats_.propagates_applied.add();
+    }
+  }
+}
+
+void MvNodeBase::collect_ranges_locked(
+    NodeId dest, std::vector<std::pair<NodeId, PropagateMessage>>& out) {
+  SeqNo next = next_unsent_[dest];
+  SeqNo range_start = 0;
+  for (; next <= curr_seq_; ++next) {
+    const CommitRecord& rec = commit_log_[next - commit_log_base_];
+    const bool is_decide_seq =
+        std::find(rec.decide_dests.begin(), rec.decide_dests.end(), dest) !=
+        rec.decide_dests.end();
+    if (is_decide_seq) {
+      if (range_start != 0) {
+        out.push_back({dest, PropagateMessage{id_, range_start, next - 1}});
+        range_start = 0;
+      }
+    } else if (range_start == 0) {
+      range_start = next;
+    }
+  }
+  if (range_start != 0) {
+    out.push_back({dest, PropagateMessage{id_, range_start, curr_seq_}});
+  }
+  next_unsent_[dest] = curr_seq_ + 1;
+}
+
+void MvNodeBase::prune_commit_log_locked() {
+  SeqNo min_unsent = curr_seq_ + 1;
+  for (NodeId d = 0; d < ctx_.num_nodes; ++d) {
+    if (d == id_) continue;
+    min_unsent = std::min(min_unsent, next_unsent_[d]);
+  }
+  while (commit_log_base_ < min_unsent && !commit_log_.empty()) {
+    commit_log_.pop_front();
+    ++commit_log_base_;
+  }
+}
+
+void MvNodeBase::flush_timer_tick() {
+  flush_propagation();
+  ctx_.network->schedule(ctx_.config.propagate_flush_interval,
+                         [this] { flush_timer_tick(); });
+}
+
+void MvNodeBase::flush_propagation() {
+  std::vector<std::pair<NodeId, PropagateMessage>> flushes;
+  {
+    std::lock_guard<std::mutex> lock(site_mu_);
+    for (NodeId d = 0; d < ctx_.num_nodes; ++d) {
+      if (d == id_) continue;
+      collect_ranges_locked(d, flushes);
+    }
+    prune_commit_log_locked();
+  }
+  for (auto& [dest, msg] : flushes) {
+    ctx_.network->send(id_, dest, msg);
+  }
+}
+
+void MvNodeBase::on_remove(const RemoveMessage& m) {
+  // Alg. 6 lines 5-10: drop the finished read-only transaction's id from
+  // every version-access-set on this node (reverse-index assisted).
+  store_.remove_tx(m.tx);
+  stats_.removes_processed.add();
+}
+
+void MvNodeBase::release_prepared(TxId tx) {
+  std::vector<Key> keys;
+  {
+    std::lock_guard<std::mutex> lock(prepared_mu_);
+    auto it = prepared_.find(tx);
+    if (it == prepared_.end()) return;
+    keys = std::move(it->second);
+    prepared_.erase(it);
+  }
+  locks_.unlock_all_exclusive(keys, tx);
+}
+
+VectorClock MvNodeBase::site_vc() const {
+  std::lock_guard<std::mutex> lock(site_mu_);
+  return site_vc_;
+}
+
+SeqNo MvNodeBase::curr_seq() const {
+  std::lock_guard<std::mutex> lock(site_mu_);
+  return curr_seq_;
+}
+
+}  // namespace fwkv

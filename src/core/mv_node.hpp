@@ -1,0 +1,150 @@
+// Shared implementation of the two PSI systems. FW-KV and Walter differ in
+// exactly two behavioural dimensions (§3.2, §4):
+//
+//   fresh_reads()    - FW-KV advances T.VC / freezes per-site snapshots on
+//                      read (Alg. 2 lines 8-9) and selects versions with
+//                      Alg. 3; Walter fixes the whole snapshot at begin and
+//                      selects with the per-origin scalar rule.
+//   track_antideps() - FW-KV maintains version-access-sets, collects them
+//                      during prepare, stamps them at decide, and sends
+//                      Remove messages; Walter does none of that.
+//
+// Everything else — preferred sites, 2PC commit, per-node sequence numbers,
+// in-order Decide/Propagate application (Alg. 5 line 16 / Alg. 6 line 2) —
+// is common and lives here.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/kv_node.hpp"
+#include "store/lock_table.hpp"
+#include "store/mv_store.hpp"
+
+namespace fwkv {
+
+class MvNodeBase : public KvNode {
+ public:
+  MvNodeBase(NodeId id, ClusterContext& ctx);
+
+  // ---- client-side API ----
+  void begin(Transaction& tx) override;
+  std::optional<Value> read(Transaction& tx, Key key) override;
+  bool commit(Transaction& tx) override;
+  void load(Key key, Value value) override;
+
+  // ---- NodeEndpoint ----
+  void handle_message(net::Message msg, NodeId from) override;
+  std::size_t pending_work() const override;
+
+  // ---- introspection (tests, examples, experiments) ----
+  VectorClock site_vc() const;
+  SeqNo curr_seq() const;
+  store::MVStore& mv_store() { return store_; }
+  const store::MVStore& mv_store() const { return store_; }
+
+  /// Immediately flush all pending propagation batches (used by
+  /// Cluster::quiesce so tests observe a settled cluster).
+  void flush_propagation();
+  void quiesce_flush() override { flush_propagation(); }
+
+ protected:
+  /// FW-KV: true. Walter: false.
+  virtual bool fresh_reads() const = 0;
+  /// FW-KV: true. Walter: false.
+  virtual bool track_antideps() const = 0;
+
+ private:
+  // Server-side handlers (run on executor lanes).
+  void on_read_request(const net::ReadRequest& req);
+  void on_prepare(const net::PrepareRequest& req);
+  void on_decide(net::DecideMessage&& m);
+  void on_propagate(const net::PropagateMessage& m);
+  void on_remove(const net::RemoveMessage& m);
+
+  // In-order application machinery. Both require site_mu_ held.
+  void apply_decide_locked(net::DecideMessage& m);
+  void drain_pending_locked(NodeId origin);
+
+  /// Release the exclusive locks remembered at prepare time (no-op if this
+  /// node voted no or never prepared the transaction).
+  void release_prepared(TxId tx);
+
+  /// Shared-lock acquisition for read handlers; loops on the (short) lock
+  /// timeout so reads wait out concurrent 2PC windows instead of failing
+  /// (read-only transactions are abort-free, §1).
+  void read_lock_shared(Key key, TxId tx);
+
+  net::TxDescriptor descriptor(const Transaction& tx) const;
+
+  store::MVStore store_;
+  store::LockTable locks_;
+
+  // siteVC / CurrSeqNo (§4.1) and the per-origin pending event buffers that
+  // realize the "wait until siteVC[j] = seqNo - 1" conditions without
+  // blocking handler threads.
+  mutable std::mutex site_mu_;
+  VectorClock site_vc_;
+  SeqNo curr_seq_ = 0;
+
+  struct PendingEvent {
+    bool is_decide = false;
+    net::DecideMessage decide;
+    net::PropagateMessage propagate;
+  };
+  /// Per-origin pending events keyed by the seq they start at (a Decide's
+  /// seq_no or a Propagate range's from_seq).
+  std::vector<std::map<SeqNo, PendingEvent>> pending_;
+  std::atomic<std::size_t> pending_count_{0};
+
+  // ---- outgoing propagation batching (guarded by site_mu_) ----
+  //
+  // Every local commit seq is delivered to every other node exactly once:
+  // as a Decide to the 2PC participants (and to ourselves), and inside a
+  // contiguous Propagate range to everyone else. commit_log_ records which
+  // destinations received Decides for each seq; next_unsent_[d] is the
+  // first seq not yet covered for destination d.
+  struct CommitRecord {
+    std::vector<NodeId> decide_dests;
+  };
+  std::deque<CommitRecord> commit_log_;
+  SeqNo commit_log_base_ = 1;  // seq of commit_log_.front()
+  std::vector<SeqNo> next_unsent_;
+
+  /// Append Propagate ranges for `dest` covering (next_unsent_[dest] ..
+  /// curr_seq_] to `out`; advances next_unsent_[dest].
+  void collect_ranges_locked(NodeId dest,
+                             std::vector<std::pair<NodeId, net::PropagateMessage>>& out);
+  void prune_commit_log_locked();
+  void flush_timer_tick();
+
+  // Write-set keys locked at prepare, awaiting the decision.
+  std::mutex prepared_mu_;
+  std::unordered_map<TxId, std::vector<Key>> prepared_;
+};
+
+/// The paper's contribution: fresh first-reads per site, visible reads with
+/// version-access-sets, SCORe-style safe snapshots for update transactions.
+class FwKvNode final : public MvNodeBase {
+ public:
+  using MvNodeBase::MvNodeBase;
+
+ protected:
+  bool fresh_reads() const override { return true; }
+  bool track_antideps() const override { return true; }
+};
+
+/// The Walter baseline: begin-time snapshot, no anti-dependency metadata.
+class WalterNode final : public MvNodeBase {
+ public:
+  using MvNodeBase::MvNodeBase;
+
+ protected:
+  bool fresh_reads() const override { return false; }
+  bool track_antideps() const override { return false; }
+};
+
+}  // namespace fwkv

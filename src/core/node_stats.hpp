@@ -1,0 +1,134 @@
+// Per-node protocol statistics. Client-visible run metrics (throughput,
+// latency, abort rate) are aggregated by the runtime driver; these counters
+// capture node-internal behaviour the paper plots (Fig. 6 anti-dependency
+// sizes) or discusses (message handling, pending queues).
+#pragma once
+
+#include "common/histogram.hpp"
+
+namespace fwkv {
+
+struct NodeStats {
+  // Commit outcomes recorded at the coordinator.
+  Counter ro_commits;
+  Counter update_commits;
+  Counter aborts_lock;
+  Counter aborts_validation;
+  Counter aborts_vote_timeout;
+
+  // Fig. 6: size of T.collectedSet after merging participant votes, per
+  // update transaction that passed prepare.
+  Accumulator collected_set_size;
+
+  // Server-side activity.
+  Counter reads_served;
+  Counter versions_installed;
+  Counter propagates_applied;
+  Counter removes_processed;
+  Counter decides_applied;
+
+  // In-order application buffering (how often Decide/Propagate had to wait
+  // for a predecessor — grows when propagation is delayed).
+  Counter events_buffered;
+
+  std::uint64_t total_commits() const {
+    return ro_commits.get() + update_commits.get();
+  }
+  std::uint64_t total_aborts() const {
+    return aborts_lock.get() + aborts_validation.get() +
+           aborts_vote_timeout.get();
+  }
+
+  struct Snapshot;
+  Snapshot snapshot() const;
+
+  void reset() {
+    ro_commits.reset();
+    update_commits.reset();
+    aborts_lock.reset();
+    aborts_validation.reset();
+    aborts_vote_timeout.reset();
+    collected_set_size.reset();
+    reads_served.reset();
+    versions_installed.reset();
+    propagates_applied.reset();
+    removes_processed.reset();
+    decides_applied.reset();
+    events_buffered.reset();
+  }
+};
+
+/// Plain-value copy of NodeStats, mergeable across nodes.
+struct NodeStats::Snapshot {
+  std::uint64_t ro_commits = 0;
+  std::uint64_t update_commits = 0;
+  std::uint64_t aborts_lock = 0;
+  std::uint64_t aborts_validation = 0;
+  std::uint64_t aborts_vote_timeout = 0;
+  std::uint64_t collected_count = 0;
+  std::uint64_t collected_sum = 0;
+  std::uint64_t collected_max = 0;
+  std::uint64_t reads_served = 0;
+  std::uint64_t versions_installed = 0;
+  std::uint64_t propagates_applied = 0;
+  std::uint64_t removes_processed = 0;
+  std::uint64_t decides_applied = 0;
+  std::uint64_t events_buffered = 0;
+
+  std::uint64_t total_commits() const { return ro_commits + update_commits; }
+  std::uint64_t total_aborts() const {
+    return aborts_lock + aborts_validation + aborts_vote_timeout;
+  }
+  /// Abort rate over update-transaction attempts, as plotted in Figs. 7/9a.
+  double update_abort_rate() const {
+    const std::uint64_t attempts = update_commits + total_aborts();
+    return attempts == 0
+               ? 0.0
+               : static_cast<double>(total_aborts()) /
+                     static_cast<double>(attempts);
+  }
+  double mean_collected_set() const {
+    return collected_count == 0 ? 0.0
+                                : static_cast<double>(collected_sum) /
+                                      static_cast<double>(collected_count);
+  }
+
+  void merge(const Snapshot& o) {
+    ro_commits += o.ro_commits;
+    update_commits += o.update_commits;
+    aborts_lock += o.aborts_lock;
+    aborts_validation += o.aborts_validation;
+    aborts_vote_timeout += o.aborts_vote_timeout;
+    collected_count += o.collected_count;
+    collected_sum += o.collected_sum;
+    collected_max = collected_max > o.collected_max ? collected_max
+                                                    : o.collected_max;
+    reads_served += o.reads_served;
+    versions_installed += o.versions_installed;
+    propagates_applied += o.propagates_applied;
+    removes_processed += o.removes_processed;
+    decides_applied += o.decides_applied;
+    events_buffered += o.events_buffered;
+  }
+};
+
+inline NodeStats::Snapshot NodeStats::snapshot() const {
+  Snapshot s;
+  s.ro_commits = ro_commits.get();
+  s.update_commits = update_commits.get();
+  s.aborts_lock = aborts_lock.get();
+  s.aborts_validation = aborts_validation.get();
+  s.aborts_vote_timeout = aborts_vote_timeout.get();
+  s.collected_count = collected_set_size.count();
+  s.collected_sum = collected_set_size.sum();
+  s.collected_max = collected_set_size.max();
+  s.reads_served = reads_served.get();
+  s.versions_installed = versions_installed.get();
+  s.propagates_applied = propagates_applied.get();
+  s.removes_processed = removes_processed.get();
+  s.decides_applied = decides_applied.get();
+  s.events_buffered = events_buffered.get();
+  return s;
+}
+
+}  // namespace fwkv

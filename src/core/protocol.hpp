@@ -1,0 +1,85 @@
+// Protocol-level configuration shared by the three evaluated systems.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "common/consistent_hash.hpp"
+#include "common/ids.hpp"
+
+namespace fwkv::net {
+class SimNetwork;
+}
+
+namespace fwkv {
+
+/// The three concurrency controls of the evaluation study (§5).
+enum class Protocol : std::uint8_t {
+  kFwKv = 0,    // this paper's contribution (PSI, fresh reads)
+  kWalter = 1,  // PSI baseline, snapshot fixed at begin
+  kTwoPC = 2,   // serializable OCC baseline, read-only txs also run 2PC
+};
+
+inline const char* protocol_name(Protocol p) {
+  switch (p) {
+    case Protocol::kFwKv:
+      return "FW-KV";
+    case Protocol::kWalter:
+      return "Walter";
+    case Protocol::kTwoPC:
+      return "2PC";
+  }
+  return "?";
+}
+
+/// Why an update transaction aborted. Read-only transactions never abort in
+/// the PSI systems; in 2PC-baseline they can fail validation like any other.
+enum class AbortReason : std::uint8_t {
+  kNone = 0,
+  kLockTimeout,   // prepare could not lock the write-set in time
+  kValidation,    // a written (or, for 2PC, read) key was overwritten
+  kVoteTimeout,   // a participant's vote did not arrive in time
+  kUserAbort,     // client called abort()
+};
+
+inline const char* abort_reason_name(AbortReason r) {
+  switch (r) {
+    case AbortReason::kNone:
+      return "none";
+    case AbortReason::kLockTimeout:
+      return "lock-timeout";
+    case AbortReason::kValidation:
+      return "validation";
+    case AbortReason::kVoteTimeout:
+      return "vote-timeout";
+    case AbortReason::kUserAbort:
+      return "user";
+  }
+  return "?";
+}
+
+struct ProtocolConfig {
+  /// Per-key lock acquisition timeout (the paper uses 1 ms on a ~20 us
+  /// network; the ratio is preserved by default).
+  std::chrono::nanoseconds lock_timeout{std::chrono::milliseconds(1)};
+  /// Period of the background propagation flush (Walter propagates
+  /// periodically, outside the transaction critical path). The commit path
+  /// additionally flushes to its 2PC participants immediately so Decide
+  /// application never stalls on a pending batch.
+  std::chrono::nanoseconds propagate_flush_interval{
+      std::chrono::milliseconds(1)};
+  /// Safety bound on waiting for votes / read returns. Orders of magnitude
+  /// above any healthy round trip; hitting it counts as kVoteTimeout.
+  std::chrono::nanoseconds rpc_timeout{std::chrono::seconds(5)};
+};
+
+/// Everything a protocol node needs to know about the world around it.
+/// Owned by the Cluster; nodes hold a reference.
+struct ClusterContext {
+  net::SimNetwork* network = nullptr;
+  const KeyMapper* mapper = nullptr;
+  ProtocolConfig config;
+  std::uint32_t num_nodes = 0;
+};
+
+}  // namespace fwkv

@@ -1,0 +1,66 @@
+// Binary wire codec for the message set. The in-process SimNetwork can pass
+// messages by value, but real deployments serialize; encoding through this
+// codec (SimConfig::serialize_messages) keeps the message structs honest
+// (no hidden pointers) and gives the benchmarks a realistic marshalling cost.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/message.hpp"
+
+namespace fwkv::net {
+
+/// Append-only little-endian byte writer.
+class Encoder {
+ public:
+  void put_u8(std::uint8_t v);
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  void put_bool(bool v) { put_u8(v ? 1 : 0); }
+  void put_string(const std::string& s);
+  void put_vc(const VectorClock& vc);
+  void put_access_vector(const AccessVector& av);
+
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked reader; any under-run marks the decoder failed and all
+/// subsequent reads return zero values.
+class Decoder {
+ public:
+  explicit Decoder(const std::vector<std::uint8_t>& buf) : buf_(buf) {}
+
+  std::uint8_t get_u8();
+  std::uint32_t get_u32();
+  std::uint64_t get_u64();
+  bool get_bool() { return get_u8() != 0; }
+  std::string get_string();
+  VectorClock get_vc();
+  AccessVector get_access_vector();
+
+  bool ok() const { return ok_; }
+  bool exhausted() const { return pos_ == buf_.size(); }
+
+ private:
+  bool need(std::size_t n);
+
+  const std::vector<std::uint8_t>& buf_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Serialize any protocol message, prefixed with its MessageType tag.
+std::vector<std::uint8_t> encode_message(const Message& m);
+
+/// Parse a message; nullopt on malformed input (wrong tag, truncation,
+/// trailing garbage).
+std::optional<Message> decode_message(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace fwkv::net

@@ -1,0 +1,59 @@
+#include "net/executor.hpp"
+
+namespace fwkv::net {
+
+Executor::Executor(std::size_t threads, const char* /*name*/) {
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Executor::~Executor() { shutdown(); }
+
+void Executor::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+std::size_t Executor::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size() + active_.load(std::memory_order_relaxed);
+}
+
+void Executor::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void Executor::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      active_.fetch_add(1, std::memory_order_relaxed);
+    }
+    task();
+    active_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace fwkv::net

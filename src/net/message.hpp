@@ -1,0 +1,174 @@
+// The complete wire-message vocabulary of the three protocols (FW-KV,
+// Walter, 2PC-baseline). Messages are plain data; the SimNetwork moves them
+// between nodes and the nodes' handlers interpret them.
+//
+// Paper mapping:
+//   ReadRequest / ReadReturn   - Alg. 2 line 6-7, Alg. 3 line 19
+//   PrepareRequest / VoteReply - Alg. 4 line 12/14, Alg. 5 lines 1-13
+//   DecideMessage              - Alg. 4 line 26, Alg. 5 lines 14-26
+//   PropagateMessage           - Alg. 4 line 27, Alg. 6 lines 1-4
+//   RemoveMessage              - Alg. 4 line 4,  Alg. 6 lines 5-10
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/vector_clock.hpp"
+
+namespace fwkv::net {
+
+/// The subset of a transaction's state a remote read handler needs:
+/// identity, read-only flag, current T.VC and T.hasRead.
+struct TxDescriptor {
+  TxId id;
+  bool read_only = false;
+  VectorClock vc;
+  AccessVector has_read;
+};
+
+struct WriteEntry {
+  Key key;
+  Value value;
+};
+
+/// 2PC-baseline read validation: the version id observed at read time.
+struct ReadValidationEntry {
+  Key key;
+  VersionId version = 0;
+};
+
+struct ReadRequest {
+  std::uint64_t rpc_id = 0;
+  NodeId reply_to = 0;
+  TxDescriptor tx;
+  Key key;
+};
+
+struct ReadReturn {
+  std::uint64_t rpc_id = 0;
+  bool found = false;
+  Value value;
+  /// Commit vector clock of the returned version (empty for 2PC-baseline).
+  VectorClock version_vc;
+  VersionId version_id = 0;
+  NodeId version_origin = 0;
+  SeqNo version_seq = 0;
+  /// Freshness instrumentation: id of the newest version present when the
+  /// read was served (latest_id - version_id is the staleness gap, §2.4).
+  VersionId latest_id = 0;
+  /// The serving node's own siteVC entry at read time. Fig. 2: "T1 also
+  /// updates T1.VC[2] to the latest timestamp of N2" — the reader's clock
+  /// entry for the contacted site advances to the site's current sequence
+  /// number, freezing the snapshot at first-contact time.
+  SeqNo server_seq = 0;
+};
+
+struct PrepareRequest {
+  std::uint64_t rpc_id = 0;
+  NodeId reply_to = 0;
+  TxId tx;
+  VectorClock tx_vc;
+  /// Writes whose preferred node is the receiver.
+  std::vector<WriteEntry> writes;
+  /// 2PC-baseline only: reads to validate on the receiver.
+  std::vector<ReadValidationEntry> reads;
+};
+
+/// Why a participant voted no (for the coordinator's abort statistics).
+enum class VoteFail : std::uint8_t { kNone = 0, kLock = 1, kValidation = 2 };
+
+struct VoteReply {
+  std::uint64_t rpc_id = 0;
+  bool ok = false;
+  VoteFail fail_reason = VoteFail::kNone;
+  /// FW-KV only: read-only transaction ids found in the version-access-sets
+  /// of the written keys (Alg. 5 lines 8-10).
+  std::vector<TxId> collected_set;
+};
+
+struct DecideMessage {
+  /// Non-zero only for the 2PC-baseline, which waits for DecideAck.
+  std::uint64_t rpc_id = 0;
+  NodeId reply_to = 0;
+  TxId tx;
+  bool outcome = false;
+  /// Coordinator node ("N_j" in Alg. 5 line 14).
+  NodeId origin = 0;
+  SeqNo seq_no = 0;
+  VectorClock commit_vc;
+  /// Writes whose preferred node is the receiver (re-sent with the decision
+  /// so participants stay stateless between Prepare and Decide).
+  std::vector<WriteEntry> writes;
+  /// FW-KV: merged anti-dependency set to stamp onto the new versions
+  /// (Alg. 5 line 19).
+  std::vector<TxId> collected_set;
+};
+
+/// Batched commit propagation (Alg. 6 lines 1-4). Walter propagates
+/// "periodically"; a message covers the contiguous sequence-number range
+/// [from_seq, to_seq] of commits at `origin`, none of which carried a
+/// Decide to the receiver (those seqs are covered by their Decides).
+struct PropagateMessage {
+  NodeId origin = 0;
+  SeqNo from_seq = 0;
+  SeqNo to_seq = 0;
+};
+
+/// 2PC-baseline only: participants acknowledge Decide application so the
+/// coordinator completes a full synchronous two-phase round (the PSI
+/// systems return to the client after sending Decide, per Alg. 4).
+struct DecideAck {
+  std::uint64_t rpc_id = 0;
+};
+
+struct RemoveMessage {
+  TxId tx;
+  Key key;
+};
+
+using Message = std::variant<ReadRequest, ReadReturn, PrepareRequest,
+                             VoteReply, DecideMessage, PropagateMessage,
+                             RemoveMessage, DecideAck>;
+
+/// Stable tags for the codec and for per-class delay/statistics.
+enum class MessageType : std::uint8_t {
+  kReadRequest = 0,
+  kReadReturn = 1,
+  kPrepareRequest = 2,
+  kVoteReply = 3,
+  kDecide = 4,
+  kPropagate = 5,
+  kRemove = 6,
+  kDecideAck = 7,
+};
+inline constexpr std::size_t kNumMessageTypes = 8;
+
+inline MessageType type_of(const Message& m) {
+  return static_cast<MessageType>(m.index());
+}
+
+inline const char* type_name(MessageType t) {
+  switch (t) {
+    case MessageType::kReadRequest:
+      return "ReadRequest";
+    case MessageType::kReadReturn:
+      return "ReadReturn";
+    case MessageType::kPrepareRequest:
+      return "Prepare";
+    case MessageType::kVoteReply:
+      return "Vote";
+    case MessageType::kDecide:
+      return "Decide";
+    case MessageType::kPropagate:
+      return "Propagate";
+    case MessageType::kRemove:
+      return "Remove";
+    case MessageType::kDecideAck:
+      return "DecideAck";
+  }
+  return "?";
+}
+
+}  // namespace fwkv::net

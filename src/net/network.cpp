@@ -1,0 +1,239 @@
+#include "net/network.hpp"
+
+#include <cassert>
+#include <thread>
+
+#include "net/codec.hpp"
+
+namespace fwkv::net {
+
+std::optional<Message> RpcCall::await(std::chrono::nanoseconds timeout) {
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait_for(lock, timeout,
+                      [&] { return state_->reply.has_value(); });
+  return std::move(state_->reply);
+}
+
+SimNetwork::SimNetwork(std::uint32_t num_nodes, NetConfig config)
+    : num_nodes_(num_nodes),
+      config_(config),
+      propagate_extra_ns_(config.propagate_extra_delay.count()),
+      rpc_shards_(new RpcShard[kRpcShards]) {
+  nodes_.resize(num_nodes);
+  for (auto& lanes : nodes_) {
+    lanes.data = std::make_unique<Executor>(config_.data_threads, "data");
+    lanes.control =
+        std::make_unique<Executor>(config_.control_threads, "ctrl");
+  }
+}
+
+SimNetwork::~SimNetwork() {
+  // Stop accepting timer deliveries first so no task lands on a dying
+  // executor, then drain the executors.
+  timer_.shutdown();
+  for (auto& lanes : nodes_) {
+    lanes.data->shutdown();
+    lanes.control->shutdown();
+  }
+}
+
+void SimNetwork::register_endpoint(NodeId node, NodeEndpoint* endpoint) {
+  assert(node < num_nodes_);
+  nodes_[node].endpoint = endpoint;
+}
+
+RpcCall SimNetwork::send_request(NodeId from, NodeId to, Message request) {
+  RpcCall call;
+  call.id_ = next_rpc_id_.fetch_add(1, std::memory_order_relaxed);
+  if (auto* rr = std::get_if<ReadRequest>(&request)) {
+    rr->rpc_id = call.id_;
+    rr->reply_to = from;
+  } else if (auto* pr = std::get_if<PrepareRequest>(&request)) {
+    pr->rpc_id = call.id_;
+    pr->reply_to = from;
+  } else if (auto* dm = std::get_if<DecideMessage>(&request)) {
+    dm->rpc_id = call.id_;
+    dm->reply_to = from;
+  } else {
+    assert(false && "send_request requires a request-type message");
+  }
+  auto& shard = rpc_shards_[call.id_ % kRpcShards];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.emplace(call.id_, call.state_);
+  }
+  send(from, to, std::move(request));
+  return call;
+}
+
+void SimNetwork::send(NodeId from, NodeId to, Message m) {
+  assert(to < num_nodes_);
+  {
+    std::lock_guard<std::mutex> lock(hook_mu_);
+    if (send_hook_) send_hook_(from, to, m);
+  }
+  sent_by_type_[static_cast<std::size_t>(type_of(m))].add();
+  if (config_.serialize_messages) {
+    // Round-trip through the codec: realistic marshalling cost and a
+    // guarantee the message survives a real wire.
+    auto bytes = encode_message(m);
+    bytes_sent_.add(bytes.size());
+    auto decoded = decode_message(bytes);
+    assert(decoded.has_value());
+    m = std::move(*decoded);
+  }
+  in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  // Loopback messages (coordinator to itself, e.g. the self-Decide of
+  // Alg. 4 line 26) never hit the wire: this is what makes Walter's
+  // preferred-site fast local commit fast.
+  const auto latency =
+      from == to ? std::chrono::nanoseconds(0) : latency_for(m, from, to);
+  if (latency.count() == 0) {
+    deliver(from, to, std::move(m));
+  } else {
+    timer_.run_after(latency, [this, from, to, m = std::move(m)]() mutable {
+      deliver(from, to, std::move(m));
+    });
+  }
+}
+
+void SimNetwork::deliver(NodeId from, NodeId to, Message m) {
+  // Replies complete pending RPCs without touching the endpoint.
+  std::uint64_t rpc_id = 0;
+  if (const auto* rr = std::get_if<ReadReturn>(&m)) {
+    rpc_id = rr->rpc_id;
+  } else if (const auto* vr = std::get_if<VoteReply>(&m)) {
+    rpc_id = vr->rpc_id;
+  } else if (const auto* da = std::get_if<DecideAck>(&m)) {
+    rpc_id = da->rpc_id;
+  }
+  if (rpc_id != 0) {
+    std::shared_ptr<RpcCall::State> state;
+    auto& shard = rpc_shards_[rpc_id % kRpcShards];
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto it = shard.map.find(rpc_id);
+      if (it != shard.map.end()) {
+        state = std::move(it->second);
+        shard.map.erase(it);
+      }
+    }
+    if (state) {
+      {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->reply = std::move(m);
+      }
+      state->cv.notify_one();
+    }
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    return;
+  }
+
+  auto& lanes = nodes_[to];
+  assert(lanes.endpoint != nullptr);
+  const MessageType t = type_of(m);
+  const bool control = t == MessageType::kDecide ||
+                       t == MessageType::kPropagate ||
+                       t == MessageType::kRemove;
+  if (control) {
+    // Control handlers (decide/propagate/remove) are non-blocking by
+    // design (in-order application is event-driven, Alg. 5 line 16 /
+    // Alg. 6 line 2 waits are buffered) — run them inline on the
+    // delivering thread. Only read/prepare handlers, which may wait on
+    // per-key locks, need worker threads; the split guarantees a blocked
+    // read can never starve the decide that will release its lock.
+    lanes.endpoint->handle_message(std::move(m), from);
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    return;
+  }
+  auto task = [this, endpoint = lanes.endpoint, from, m = std::move(m)]() mutable {
+    endpoint->handle_message(std::move(m), from);
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+  };
+  lanes.data->submit(std::move(task));
+}
+
+std::chrono::nanoseconds SimNetwork::latency_for(const Message& m,
+                                                 NodeId from, NodeId to) {
+  auto latency = config_.one_way_latency;
+  if (!config_.link_latency.empty()) {
+    latency = config_.link_latency[from][to];
+  }
+  if (std::holds_alternative<PropagateMessage>(m)) {
+    latency += std::chrono::nanoseconds(
+        propagate_extra_ns_.load(std::memory_order_relaxed));
+  }
+  if (config_.jitter.count() > 0) {
+    // SplitMix64 step: cheap, lock-free uniform jitter.
+    std::uint64_t x =
+        jitter_state_.fetch_add(0x9E3779B97F4A7C15ull,
+                                std::memory_order_relaxed);
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    x ^= x >> 31;
+    latency += std::chrono::nanoseconds(
+        static_cast<std::int64_t>(x % static_cast<std::uint64_t>(
+                                          config_.jitter.count() + 1)));
+  }
+  return latency;
+}
+
+std::vector<std::vector<std::chrono::nanoseconds>>
+SimNetwork::two_region_matrix(std::uint32_t num_nodes, std::uint32_t split,
+                              std::chrono::nanoseconds local,
+                              std::chrono::nanoseconds wan) {
+  std::vector<std::vector<std::chrono::nanoseconds>> matrix(
+      num_nodes, std::vector<std::chrono::nanoseconds>(num_nodes, local));
+  for (std::uint32_t a = 0; a < num_nodes; ++a) {
+    for (std::uint32_t b = 0; b < num_nodes; ++b) {
+      const bool a_west = a < split;
+      const bool b_west = b < split;
+      if (a_west != b_west) matrix[a][b] = wan;
+    }
+  }
+  return matrix;
+}
+
+void SimNetwork::set_propagate_extra_delay(std::chrono::nanoseconds d) {
+  propagate_extra_ns_.store(d.count(), std::memory_order_relaxed);
+}
+
+void SimNetwork::schedule(std::chrono::nanoseconds delay,
+                          std::function<void()> fn) {
+  timer_.run_after(delay, std::move(fn));
+}
+
+void SimNetwork::set_send_hook(SendHook hook) {
+  std::lock_guard<std::mutex> lock(hook_mu_);
+  send_hook_ = std::move(hook);
+}
+
+std::uint64_t SimNetwork::messages_sent(MessageType t) const {
+  return sent_by_type_[static_cast<std::size_t>(t)].get();
+}
+
+std::uint64_t SimNetwork::bytes_sent() const { return bytes_sent_.get(); }
+
+bool SimNetwork::wait_quiescent(std::chrono::nanoseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    bool quiet = in_flight_.load(std::memory_order_acquire) == 0;
+    if (quiet) {
+      for (const auto& lanes : nodes_) {
+        if (lanes.endpoint != nullptr && lanes.endpoint->pending_work() > 0) {
+          quiet = false;
+          break;
+        }
+      }
+    }
+    if (quiet) {
+      // Double-check after a short pause: a handler might be about to send.
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      if (in_flight_.load(std::memory_order_acquire) == 0) return true;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+}
+
+}  // namespace fwkv::net

@@ -1,0 +1,168 @@
+// In-process simulated cluster network.
+//
+// Faithful to the paper's system model (§2.1): nodes share no memory (all
+// interaction is through Message values), channels are reliable and
+// asynchronous, and there is no bound on delivery delay. The simulation
+// substitutes CloudLab's 10 Gb/s fabric (~20 us one-way) with a DelayQueue
+// that delivers each message after a configurable latency; the delayed-
+// Propagate experiments (Figs. 7, 9a) add a per-class extra delay exactly as
+// the paper "intentionally delays the asynchronous propagate messages".
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "net/delay_queue.hpp"
+#include "net/executor.hpp"
+#include "net/message.hpp"
+
+namespace fwkv::net {
+
+struct NetConfig {
+  /// One-way delivery latency applied to every message.
+  std::chrono::nanoseconds one_way_latency{std::chrono::microseconds(20)};
+  /// Additional latency applied to Propagate messages only (Fig. 7/9a knob).
+  std::chrono::nanoseconds propagate_extra_delay{0};
+  /// Uniform jitter in [0, jitter] added per message (network variance).
+  std::chrono::nanoseconds jitter{0};
+  /// Optional per-link one-way latency override: entry [from][to]
+  /// replaces one_way_latency when non-negative. Lets experiments model
+  /// geo-distributed regions (Walter's original deployment target).
+  /// Empty = uniform latency.
+  std::vector<std::vector<std::chrono::nanoseconds>> link_latency;
+  /// Round-trip every message through the binary codec. Costs CPU; on by
+  /// default in tests, off in throughput benchmarks.
+  bool serialize_messages = false;
+  /// Worker threads per node for read/prepare handlers (these may block
+  /// briefly on per-key locks). Decide/propagate/remove handlers are
+  /// non-blocking and run inline on the delivering thread.
+  std::size_t data_threads = 3;
+  /// Spare worker lane (kept for handlers that must not run inline).
+  std::size_t control_threads = 1;
+};
+
+/// Implemented by protocol nodes; invoked on the destination node's
+/// executor lanes.
+class NodeEndpoint {
+ public:
+  virtual ~NodeEndpoint() = default;
+  virtual void handle_message(Message msg, NodeId from) = 0;
+  /// Work buffered inside the node waiting for in-order application
+  /// (pending Decide/Propagate). Used by quiescence detection.
+  virtual std::size_t pending_work() const = 0;
+};
+
+/// Blocking completion handle for one request/reply exchange.
+class RpcCall {
+ public:
+  /// Blocks until the reply arrives or the timeout elapses.
+  std::optional<Message> await(std::chrono::nanoseconds timeout);
+
+ private:
+  friend class SimNetwork;
+  struct State {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::optional<Message> reply;
+  };
+  std::shared_ptr<State> state_ = std::make_shared<State>();
+  std::uint64_t id_ = 0;
+};
+
+class SimNetwork {
+ public:
+  SimNetwork(std::uint32_t num_nodes, NetConfig config);
+  ~SimNetwork();
+
+  SimNetwork(const SimNetwork&) = delete;
+  SimNetwork& operator=(const SimNetwork&) = delete;
+
+  std::uint32_t num_nodes() const { return num_nodes_; }
+  const NetConfig& config() const { return config_; }
+
+  void register_endpoint(NodeId node, NodeEndpoint* endpoint);
+
+  /// Begin a request/reply exchange: stamps `rpc_id` into the request (the
+  /// caller's message must carry an rpc_id field), registers the completion
+  /// slot, then sends. ReadReturn / VoteReply messages with a matching
+  /// rpc_id complete the call instead of reaching the endpoint handler.
+  RpcCall send_request(NodeId from, NodeId to, Message request);
+
+  /// Fire-and-forget (Decide, Propagate, Remove, and replies).
+  void send(NodeId from, NodeId to, Message m);
+
+  /// Change the Propagate-delay knob at runtime (delayed-propagate sweeps).
+  void set_propagate_extra_delay(std::chrono::nanoseconds d);
+
+  /// Run `fn` on the timer thread after `delay` (used by the nodes'
+  /// periodic propagation flush). Dropped silently after shutdown.
+  void schedule(std::chrono::nanoseconds delay, std::function<void()> fn);
+
+  /// Test hook: observe every message at send time (called inline).
+  using SendHook =
+      std::function<void(NodeId from, NodeId to, const Message& m)>;
+  void set_send_hook(SendHook hook);
+
+  /// Messages sent per type and serialized bytes (0 unless serializing).
+  std::uint64_t messages_sent(MessageType t) const;
+  std::uint64_t bytes_sent() const;
+
+  /// True when no message is in flight and no endpoint has pending buffered
+  /// work. Spin-waits up to `timeout`; returns false on timeout.
+  bool wait_quiescent(std::chrono::nanoseconds timeout);
+
+  /// Build a two-region latency matrix: nodes [0, split) form region A,
+  /// the rest region B; intra-region links use `local`, cross-region links
+  /// use `wan`.
+  static std::vector<std::vector<std::chrono::nanoseconds>>
+  two_region_matrix(std::uint32_t num_nodes, std::uint32_t split,
+                    std::chrono::nanoseconds local,
+                    std::chrono::nanoseconds wan);
+
+ private:
+  void deliver(NodeId from, NodeId to, Message m);
+  std::chrono::nanoseconds latency_for(const Message& m, NodeId from,
+                                       NodeId to);
+
+  const std::uint32_t num_nodes_;
+  NetConfig config_;
+  std::atomic<std::int64_t> propagate_extra_ns_;
+
+  struct NodeLanes {
+    std::unique_ptr<Executor> data;
+    std::unique_ptr<Executor> control;
+    NodeEndpoint* endpoint = nullptr;
+  };
+  std::vector<NodeLanes> nodes_;
+
+  DelayQueue timer_;
+
+  // Pending RPC table, sharded to keep the send path scalable.
+  static constexpr std::size_t kRpcShards = 64;
+  struct RpcShard {
+    std::mutex mu;
+    std::unordered_map<std::uint64_t, std::shared_ptr<RpcCall::State>> map;
+  };
+  std::unique_ptr<RpcShard[]> rpc_shards_;
+  std::atomic<std::uint64_t> next_rpc_id_{1};
+
+  std::atomic<std::int64_t> in_flight_{0};
+  std::array<Counter, kNumMessageTypes> sent_by_type_;
+  Counter bytes_sent_;
+  std::atomic<std::uint64_t> jitter_state_{0x9E3779B97F4A7C15ull};
+
+  SendHook send_hook_;
+  mutable std::mutex hook_mu_;
+};
+
+}  // namespace fwkv::net

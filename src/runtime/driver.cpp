@@ -1,0 +1,56 @@
+#include "runtime/driver.hpp"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace fwkv::runtime {
+
+RunResult run_driver(Cluster& cluster, Workload& workload,
+                     const DriverConfig& config) {
+  const std::uint32_t nodes = cluster.num_nodes();
+  const std::uint32_t total_clients = nodes * config.clients_per_node;
+
+  // Phases: 0 = warmup, 1 = measuring, 2 = stop.
+  std::atomic<int> phase{0};
+  std::vector<ClientStats> per_client(total_clients);
+  std::vector<std::thread> threads;
+  threads.reserve(total_clients);
+
+  for (std::uint32_t n = 0; n < nodes; ++n) {
+    for (std::uint32_t c = 0; c < config.clients_per_node; ++c) {
+      const std::uint32_t idx = n * config.clients_per_node + c;
+      threads.emplace_back([&, n, c, idx] {
+        Session session = cluster.make_session(n, c);
+        Rng rng(config.base_seed * 0x9e3779b9u + idx * 7919u + 1);
+        ClientStats warmup_sink;
+        while (phase.load(std::memory_order_acquire) != 2) {
+          ClientStats& sink =
+              phase.load(std::memory_order_acquire) == 1 ? per_client[idx]
+                                                         : warmup_sink;
+          workload.execute_one(session, rng, sink);
+        }
+      });
+    }
+  }
+
+  std::this_thread::sleep_for(config.warmup);
+  cluster.reset_stats();
+  const auto t0 = std::chrono::steady_clock::now();
+  phase.store(1, std::memory_order_release);
+  std::this_thread::sleep_for(config.measure);
+  phase.store(2, std::memory_order_release);
+  const auto t1 = std::chrono::steady_clock::now();
+  for (auto& t : threads) t.join();
+
+  RunResult result;
+  result.protocol = cluster.protocol();
+  result.seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0)
+          .count();
+  for (const auto& cs : per_client) result.clients.merge(cs);
+  result.nodes = cluster.aggregate_stats();
+  return result;
+}
+
+}  // namespace fwkv::runtime

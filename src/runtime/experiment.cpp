@@ -1,0 +1,134 @@
+#include "runtime/experiment.hpp"
+
+#include <cstdlib>
+#include <memory>
+
+namespace fwkv::runtime {
+
+ExperimentScale ExperimentScale::from_env() {
+  ExperimentScale scale;
+  if (const char* ms = std::getenv("FWKV_BENCH_MS")) {
+    const long v = std::strtol(ms, nullptr, 10);
+    if (v > 0) scale.measure = std::chrono::milliseconds(v);
+  }
+  if (const char* clients = std::getenv("FWKV_BENCH_CLIENTS")) {
+    const long v = std::strtol(clients, nullptr, 10);
+    if (v > 0) scale.clients_per_node = static_cast<std::uint32_t>(v);
+  }
+  if (const char* lat = std::getenv("FWKV_BENCH_LAT_US")) {
+    const long v = std::strtol(lat, nullptr, 10);
+    if (v > 0) scale.one_way_latency = std::chrono::microseconds(v);
+  }
+  if (const char* trials = std::getenv("FWKV_BENCH_TRIALS")) {
+    const long v = std::strtol(trials, nullptr, 10);
+    if (v > 0) scale.trials = static_cast<std::uint32_t>(v);
+  }
+  return scale;
+}
+
+namespace {
+
+DriverConfig driver_config(const ExperimentScale& scale) {
+  DriverConfig cfg;
+  cfg.clients_per_node = scale.clients_per_node;
+  cfg.warmup = scale.warmup;
+  cfg.measure = scale.measure;
+  return cfg;
+}
+
+}  // namespace
+
+namespace {
+
+struct LoadedExperiment {
+  std::unique_ptr<Cluster> cluster;
+  std::unique_ptr<Workload> workload;
+};
+
+LoadedExperiment make_ycsb(const YcsbPoint& point,
+                           const ExperimentScale& scale) {
+  ClusterConfig cfg;
+  cfg.num_nodes = point.num_nodes;
+  cfg.protocol = point.protocol;
+  cfg.net.one_way_latency = scale.one_way_latency;
+  cfg.net.propagate_extra_delay = point.propagate_extra_delay;
+  LoadedExperiment e;
+  e.cluster = std::make_unique<Cluster>(cfg);
+
+  ycsb::YcsbConfig ycfg;
+  ycfg.total_keys = point.total_keys;
+  ycfg.read_only_ratio = point.read_only_ratio;
+  e.workload = std::make_unique<ycsb::YcsbWorkload>(ycfg);
+  e.workload->load(*e.cluster);
+  return e;
+}
+
+LoadedExperiment make_tpcc(const TpccPoint& point,
+                           const ExperimentScale& scale) {
+  ClusterConfig cfg;
+  cfg.num_nodes = point.num_nodes;
+  cfg.protocol = point.protocol;
+  cfg.net.one_way_latency = scale.one_way_latency;
+  cfg.net.propagate_extra_delay = point.propagate_extra_delay;
+  cfg.mapper = tpcc::TpccWorkload::make_mapper(point.num_nodes);
+  LoadedExperiment e;
+  e.cluster = std::make_unique<Cluster>(cfg);
+
+  tpcc::TpccConfig tcfg;
+  tcfg.warehouses_per_node = point.warehouses_per_node;
+  tcfg.read_only_ratio = point.read_only_ratio;
+  tcfg.customers_per_district = point.customers_per_district;
+  tcfg.items = point.items;
+  e.workload =
+      std::make_unique<tpcc::TpccWorkload>(tcfg, point.num_nodes);
+  e.workload->load(*e.cluster);
+  return e;
+}
+
+std::vector<RunResult> run_matrix(std::vector<LoadedExperiment> experiments,
+                                  const ExperimentScale& scale) {
+  std::vector<RunResult> results(experiments.size());
+  for (std::uint32_t t = 0; t < scale.trials; ++t) {
+    for (std::size_t i = 0; i < experiments.size(); ++i) {
+      auto trial = run_driver(*experiments[i].cluster,
+                              *experiments[i].workload,
+                              driver_config(scale));
+      if (t == 0) {
+        results[i] = std::move(trial);
+      } else {
+        results[i].merge_trial(trial);
+      }
+    }
+  }
+  return results;
+}
+
+}  // namespace
+
+std::vector<RunResult> run_ycsb_matrix(const std::vector<YcsbPoint>& points,
+                                       const ExperimentScale& scale) {
+  std::vector<LoadedExperiment> experiments;
+  experiments.reserve(points.size());
+  for (const auto& p : points) experiments.push_back(make_ycsb(p, scale));
+  return run_matrix(std::move(experiments), scale);
+}
+
+std::vector<RunResult> run_tpcc_matrix(const std::vector<TpccPoint>& points,
+                                       const ExperimentScale& scale) {
+  std::vector<LoadedExperiment> experiments;
+  experiments.reserve(points.size());
+  for (const auto& p : points) experiments.push_back(make_tpcc(p, scale));
+  return run_matrix(std::move(experiments), scale);
+}
+
+RunResult run_ycsb_point(const YcsbPoint& point,
+                         const ExperimentScale& scale) {
+  return run_ycsb_matrix({point}, scale).front();
+}
+
+RunResult run_tpcc_point(const TpccPoint& point,
+                         const ExperimentScale& scale) {
+  return run_tpcc_matrix({point}, scale).front();
+}
+
+}  // namespace fwkv::runtime

@@ -1,0 +1,22 @@
+#include "runtime/metrics.hpp"
+
+#include <sstream>
+
+namespace fwkv::runtime {
+
+std::string RunResult::summary() const {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(1);
+  os << protocol_name(protocol) << ": " << throughput_tps() / 1000.0
+     << " kTx/s, abort-rate " << abort_rate() * 100.0 << "%, "
+     << clients.commits() << " commits (" << clients.ro_commits << " ro / "
+     << clients.update_commits << " upd), mean-latency "
+     << mean_latency_us() << " us";
+  if (nodes.collected_count > 0) {
+    os << ", mean-antidep " << mean_collected_set();
+  }
+  return os.str();
+}
+
+}  // namespace fwkv::runtime

@@ -1,0 +1,100 @@
+// Run-level metrics: what the paper's plots are made of. Per-client-thread
+// counters (no sharing during the run) merged into a RunResult at the end.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/histogram.hpp"
+#include "core/node_stats.hpp"
+#include "core/protocol.hpp"
+
+namespace fwkv::runtime {
+
+/// Counters owned by one closed-loop client thread.
+struct ClientStats {
+  std::uint64_t ro_commits = 0;
+  std::uint64_t update_commits = 0;
+  std::uint64_t aborts_lock = 0;
+  std::uint64_t aborts_validation = 0;
+  std::uint64_t aborts_vote_timeout = 0;
+
+  std::uint64_t reads = 0;
+  std::uint64_t stale_reads = 0;
+  std::uint64_t freshness_gap_sum = 0;
+
+  std::uint64_t latency_ns_sum = 0;
+  std::uint64_t latency_samples = 0;
+
+  void merge(const ClientStats& o) {
+    ro_commits += o.ro_commits;
+    update_commits += o.update_commits;
+    aborts_lock += o.aborts_lock;
+    aborts_validation += o.aborts_validation;
+    aborts_vote_timeout += o.aborts_vote_timeout;
+    reads += o.reads;
+    stale_reads += o.stale_reads;
+    freshness_gap_sum += o.freshness_gap_sum;
+    latency_ns_sum += o.latency_ns_sum;
+    latency_samples += o.latency_samples;
+  }
+
+  std::uint64_t commits() const { return ro_commits + update_commits; }
+  std::uint64_t aborts() const {
+    return aborts_lock + aborts_validation + aborts_vote_timeout;
+  }
+};
+
+/// Everything measured over one experiment point.
+struct RunResult {
+  Protocol protocol = Protocol::kFwKv;
+  double seconds = 0.0;
+  ClientStats clients;          // merged over all client threads
+  NodeStats::Snapshot nodes;    // merged over all nodes
+
+  double throughput_tps() const {
+    return seconds <= 0.0 ? 0.0
+                          : static_cast<double>(clients.commits()) / seconds;
+  }
+  /// Abort rate over update-transaction attempts (Figs. 7, 9a).
+  double abort_rate() const {
+    const std::uint64_t attempts =
+        clients.update_commits + clients.aborts();
+    return attempts == 0 ? 0.0
+                         : static_cast<double>(clients.aborts()) /
+                               static_cast<double>(attempts);
+  }
+  /// Fraction of reads that returned a non-latest version (Ext. A).
+  double stale_read_fraction() const {
+    return clients.reads == 0 ? 0.0
+                              : static_cast<double>(clients.stale_reads) /
+                                    static_cast<double>(clients.reads);
+  }
+  /// Mean staleness gap in versions over all reads (Ext. A).
+  double mean_freshness_gap() const {
+    return clients.reads == 0
+               ? 0.0
+               : static_cast<double>(clients.freshness_gap_sum) /
+                     static_cast<double>(clients.reads);
+  }
+  double mean_latency_us() const {
+    return clients.latency_samples == 0
+               ? 0.0
+               : static_cast<double>(clients.latency_ns_sum) /
+                     static_cast<double>(clients.latency_samples) / 1000.0;
+  }
+  /// Fig. 6: mean anti-dependency set collected at prepare.
+  double mean_collected_set() const { return nodes.mean_collected_set(); }
+
+  /// Pool another trial of the same experiment point (throughput and rates
+  /// become the multi-trial average, as the paper reports 5-trial means).
+  void merge_trial(const RunResult& other) {
+    seconds += other.seconds;
+    clients.merge(other.clients);
+    nodes.merge(other.nodes);
+  }
+
+  std::string summary() const;
+};
+
+}  // namespace fwkv::runtime

@@ -1,0 +1,27 @@
+// Plain-text table printer for the benchmark harnesses: each bench binary
+// prints the same rows/series the paper's figures plot.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fwkv::runtime {
+
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+
+  static std::string fmt(double v, int precision = 1);
+  static std::string fmt_pct(double fraction, int precision = 1);
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fwkv::runtime

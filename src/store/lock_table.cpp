@@ -1,0 +1,127 @@
+#include "store/lock_table.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/consistent_hash.hpp"
+
+namespace fwkv::store {
+
+LockTable::LockTable(std::size_t shards) {
+  assert(shards > 0);
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+LockTable::Shard& LockTable::shard_for(Key key) {
+  return *shards_[hash_key(key) % shards_.size()];
+}
+
+const LockTable::Shard& LockTable::shard_for(Key key) const {
+  return *shards_[hash_key(key) % shards_.size()];
+}
+
+bool LockTable::lock_exclusive(Key key, TxId owner,
+                               std::chrono::nanoseconds timeout) {
+  Shard& s = shard_for(key);
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::unique_lock<std::mutex> lock(s.mu);
+  for (;;) {
+    LockState& st = s.locks[key];
+    if (st.exclusive_owner == owner) return true;  // idempotent re-acquire
+    if (!st.exclusive_owner.valid() && st.shared_count == 0) {
+      st.exclusive_owner = owner;
+      return true;
+    }
+    if (s.cv.wait_until(lock, deadline) == std::cv_status::timeout) {
+      // One final check: the state may have changed as we timed out.
+      LockState& st2 = s.locks[key];
+      if (!st2.exclusive_owner.valid() && st2.shared_count == 0) {
+        st2.exclusive_owner = owner;
+        return true;
+      }
+      return false;
+    }
+  }
+}
+
+bool LockTable::lock_shared(Key key, TxId /*owner*/,
+                            std::chrono::nanoseconds timeout) {
+  Shard& s = shard_for(key);
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::unique_lock<std::mutex> lock(s.mu);
+  for (;;) {
+    LockState& st = s.locks[key];
+    if (!st.exclusive_owner.valid()) {
+      ++st.shared_count;
+      return true;
+    }
+    if (s.cv.wait_until(lock, deadline) == std::cv_status::timeout) {
+      LockState& st2 = s.locks[key];
+      if (!st2.exclusive_owner.valid()) {
+        ++st2.shared_count;
+        return true;
+      }
+      return false;
+    }
+  }
+}
+
+void LockTable::unlock_exclusive(Key key, TxId owner) {
+  Shard& s = shard_for(key);
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.locks.find(key);
+    assert(it != s.locks.end());
+    assert(it->second.exclusive_owner == owner);
+    (void)owner;
+    it->second.exclusive_owner = kInvalidTxId;
+    if (it->second.shared_count == 0) s.locks.erase(it);
+  }
+  s.cv.notify_all();
+}
+
+void LockTable::unlock_shared(Key key, TxId /*owner*/) {
+  Shard& s = shard_for(key);
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.locks.find(key);
+    assert(it != s.locks.end());
+    assert(it->second.shared_count > 0);
+    --it->second.shared_count;
+    if (it->second.shared_count == 0 && !it->second.exclusive_owner.valid()) {
+      s.locks.erase(it);
+    }
+  }
+  s.cv.notify_all();
+}
+
+bool LockTable::lock_all_exclusive(std::span<const Key> sorted_keys,
+                                   TxId owner,
+                                   std::chrono::nanoseconds per_key_timeout) {
+  assert(std::is_sorted(sorted_keys.begin(), sorted_keys.end()));
+  for (std::size_t i = 0; i < sorted_keys.size(); ++i) {
+    if (!lock_exclusive(sorted_keys[i], owner, per_key_timeout)) {
+      for (std::size_t j = 0; j < i; ++j) {
+        unlock_exclusive(sorted_keys[j], owner);
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+void LockTable::unlock_all_exclusive(std::span<const Key> keys, TxId owner) {
+  for (Key k : keys) unlock_exclusive(k, owner);
+}
+
+bool LockTable::held_exclusive(Key key, TxId owner) const {
+  const Shard& s = shard_for(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.locks.find(key);
+  return it != s.locks.end() && it->second.exclusive_owner == owner;
+}
+
+}  // namespace fwkv::store

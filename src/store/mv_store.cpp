@@ -1,0 +1,190 @@
+#include "store/mv_store.hpp"
+
+#include <cassert>
+
+#include "common/consistent_hash.hpp"
+
+namespace fwkv::store {
+
+MVStore::MVStore(std::size_t shards) {
+  assert(shards > 0);
+  map_shards_.reserve(shards);
+  index_shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    map_shards_.push_back(std::make_unique<MapShard>());
+    index_shards_.push_back(std::make_unique<IndexShard>());
+  }
+}
+
+MVStore::Entry* MVStore::find_entry(Key key) const {
+  const auto& shard = *map_shards_[hash_key(key) % map_shards_.size()];
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  return it == shard.map.end() ? nullptr : it->second.get();
+}
+
+MVStore::Entry& MVStore::get_or_create_entry(Key key) {
+  auto& shard = *map_shards_[hash_key(key) % map_shards_.size()];
+  {
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) return *it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  auto& slot = shard.map[key];
+  if (!slot) slot = std::make_unique<Entry>();
+  return *slot;
+}
+
+void MVStore::load(Key key, Value value, std::size_t cluster_size) {
+  Entry& e = get_or_create_entry(key);
+  std::lock_guard<std::mutex> latch(e.latch);
+  e.chain.install(std::move(value), VectorClock(cluster_size), /*origin=*/0,
+                  /*seq=*/0);
+}
+
+bool MVStore::contains(Key key) const { return find_entry(key) != nullptr; }
+
+std::size_t MVStore::key_count() const {
+  std::size_t n = 0;
+  for (const auto& shard : map_shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mu);
+    n += shard->map.size();
+  }
+  return n;
+}
+
+ReadResult MVStore::read_read_only(Key key, const VectorClock& tvc,
+                                   const std::vector<bool>& has_read,
+                                   TxId reader) {
+  Entry* e = find_entry(key);
+  if (e == nullptr) return {};
+  ReadResult r;
+  {
+    std::lock_guard<std::mutex> latch(e->latch);
+    r = e->chain.select_read_only(tvc, has_read, reader);
+  }
+  // select_read_only inserts the reader id unless it was already present
+  // (re-read fallback); registering twice is harmless because remove_tx
+  // tolerates duplicate refs. Registration happens after the latch is
+  // released (lock-order rule: never hold a latch and an index shard).
+  if (r.found) register_reader(reader, e, r.id);
+  return r;
+}
+
+ReadResult MVStore::read_update(Key key, const VectorClock& tvc,
+                                const std::vector<bool>& has_read,
+                                bool snapshot_fixed) const {
+  Entry* e = find_entry(key);
+  if (e == nullptr) return {};
+  std::lock_guard<std::mutex> latch(e->latch);
+  return e->chain.select_update(tvc, has_read, snapshot_fixed);
+}
+
+ReadResult MVStore::read_walter(Key key, const VectorClock& tvc) const {
+  Entry* e = find_entry(key);
+  if (e == nullptr) return {};
+  std::lock_guard<std::mutex> latch(e->latch);
+  return e->chain.select_walter(tvc);
+}
+
+bool MVStore::validate_key(Key key, const VectorClock& tvc) const {
+  Entry* e = find_entry(key);
+  if (e == nullptr) return true;  // blind insert of a fresh key
+  std::lock_guard<std::mutex> latch(e->latch);
+  return e->chain.validate(tvc);
+}
+
+bool MVStore::validate_key_version(Key key, VersionId observed) const {
+  Entry* e = find_entry(key);
+  if (e == nullptr) return observed == 0;
+  std::lock_guard<std::mutex> latch(e->latch);
+  return !e->chain.empty() && e->chain.latest().id == observed;
+}
+
+void MVStore::collect_access_sets(std::span<const Key> keys,
+                                  std::vector<TxId>& out) const {
+  for (Key k : keys) {
+    Entry* e = find_entry(k);
+    if (e == nullptr) continue;
+    std::lock_guard<std::mutex> latch(e->latch);
+    e->chain.collect_access_sets(out);
+  }
+}
+
+void MVStore::install(Key key, Value value, const VectorClock& commit_vc,
+                      NodeId origin, SeqNo seq,
+                      std::span<const TxId> collected) {
+  Entry& e = get_or_create_entry(key);
+  std::vector<TxId> stamped;
+  VersionId vid = 0;
+  {
+    std::lock_guard<std::mutex> latch(e.latch);
+    Version& v = e.chain.install(std::move(value), commit_vc, origin, seq);
+    vid = v.id;
+    for (TxId id : collected) {
+      if (recently_removed(id)) continue;  // the RO tx already finished
+      if (v.access_set_insert(id)) stamped.push_back(id);
+    }
+  }
+  // Registrations happen after the latch is released (lock-order rule).
+  for (TxId id : stamped) register_reader(id, &e, vid);
+}
+
+void MVStore::register_reader(TxId tx, Entry* entry, VersionId version_id) {
+  auto& shard = *index_shards_[std::hash<TxId>{}(tx) % index_shards_.size()];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.map[tx].push_back(IndexRef{entry, version_id});
+}
+
+void MVStore::remove_tx(TxId tx) {
+  note_removed(tx);
+  std::vector<IndexRef> refs;
+  {
+    auto& shard = *index_shards_[std::hash<TxId>{}(tx) % index_shards_.size()];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(tx);
+    if (it == shard.map.end()) return;
+    refs = std::move(it->second);
+    shard.map.erase(it);
+  }
+  for (const IndexRef& ref : refs) {
+    std::lock_guard<std::mutex> latch(ref.entry->latch);
+    for (auto& v : ref.entry->chain.versions()) {
+      if (v.id == ref.version_id) {
+        v.access_set_erase(tx);
+        break;
+      }
+    }
+  }
+}
+
+std::size_t MVStore::access_set_footprint() const {
+  std::size_t n = 0;
+  for (const auto& shard : map_shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mu);
+    for (const auto& [key, entry] : shard->map) {
+      std::lock_guard<std::mutex> latch(entry->latch);
+      for (const auto& v : entry->chain.versions()) n += v.access_set.size();
+    }
+  }
+  return n;
+}
+
+bool MVStore::recently_removed(TxId tx) const {
+  std::lock_guard<std::mutex> lock(removed_mu_);
+  return removed_set_.count(tx) > 0;
+}
+
+void MVStore::note_removed(TxId tx) {
+  std::lock_guard<std::mutex> lock(removed_mu_);
+  if (removed_set_.insert(tx).second) {
+    removed_ring_.push_back(tx);
+    if (removed_ring_.size() > kRemovedRing) {
+      removed_set_.erase(removed_ring_.front());
+      removed_ring_.pop_front();
+    }
+  }
+}
+
+}  // namespace fwkv::store

@@ -1,0 +1,120 @@
+// Per-node multi-versioned data repository (§2.2) with the reverse
+// version-access-set index that makes Remove handling (Alg. 6 lines 5-10)
+// O(entries-for-this-tx) instead of O(store).
+//
+// Synchronization layers, innermost to outermost:
+//   1. shard maps (shared_mutex)     - key lookup / creation;
+//   2. per-key latch (Entry::latch)  - chain and VAS mutation;
+//   3. LockTable (owned by the node) - transactional isolation windows.
+// The reverse index has its own shards and is never held together with a
+// key latch (registrations are applied after the latch is released), so the
+// store is free of lock-order cycles.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <deque>
+#include <vector>
+
+#include "store/version_chain.hpp"
+
+namespace fwkv::store {
+
+class MVStore {
+ public:
+  explicit MVStore(std::size_t shards = 64);
+
+  /// Bulk-load path: install an initial version with an all-zero commit
+  /// clock (visible to every snapshot).
+  void load(Key key, Value value, std::size_t cluster_size);
+
+  bool contains(Key key) const;
+  std::size_t key_count() const;
+
+  /// FW-KV read-only rule; registers `reader` in the selected version's
+  /// access set and in the reverse index.
+  ReadResult read_read_only(Key key, const VectorClock& tvc,
+                            const std::vector<bool>& has_read, TxId reader);
+
+  /// FW-KV update-transaction rule (no VAS side effects).
+  ReadResult read_update(Key key, const VectorClock& tvc,
+                         const std::vector<bool>& has_read,
+                         bool snapshot_fixed) const;
+
+  /// Walter rule (begin-time snapshot, no VAS).
+  ReadResult read_walter(Key key, const VectorClock& tvc) const;
+
+  /// Alg. 5 validate() over one written key (clock rule, blind writes).
+  bool validate_key(Key key, const VectorClock& tvc) const;
+
+  /// Validation by version identity for read-modify-write keys: true iff
+  /// the latest version is still the one the transaction observed.
+  bool validate_key_version(Key key, VersionId observed) const;
+
+  /// Alg. 5 lines 8-10: union of access sets across the written keys.
+  void collect_access_sets(std::span<const Key> keys,
+                           std::vector<TxId>& out) const;
+
+  /// Install a new version of `key` and stamp `collected` into its access
+  /// set (Alg. 5 lines 17-20). Creates the key if absent (TPC-C inserts).
+  void install(Key key, Value value, const VectorClock& commit_vc,
+               NodeId origin, SeqNo seq, std::span<const TxId> collected);
+
+  /// Alg. 6 lines 5-10: erase `tx` from every access set on this node.
+  void remove_tx(TxId tx);
+
+  /// Sum of access-set sizes across the node (space-overhead metric, §5.1).
+  std::size_t access_set_footprint() const;
+
+  /// Test/example helper: run `fn` with the key's chain latched.
+  template <typename Fn>
+  bool with_chain(Key key, Fn&& fn) {
+    Entry* e = find_entry(key);
+    if (e == nullptr) return false;
+    std::lock_guard<std::mutex> latch(e->latch);
+    fn(e->chain);
+    return true;
+  }
+
+ private:
+  struct Entry {
+    std::mutex latch;
+    VersionChain chain;
+  };
+  struct MapShard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<Key, std::unique_ptr<Entry>> map;
+  };
+
+  /// Where a transaction's id sits: which entry and which version id.
+  struct IndexRef {
+    Entry* entry;
+    VersionId version_id;
+  };
+  struct IndexShard {
+    std::mutex mu;
+    std::unordered_map<TxId, std::vector<IndexRef>> map;
+  };
+
+  Entry* find_entry(Key key) const;
+  Entry& get_or_create_entry(Key key);
+  void register_reader(TxId tx, Entry* entry, VersionId version_id);
+  bool recently_removed(TxId tx) const;
+  void note_removed(TxId tx);
+
+  std::vector<std::unique_ptr<MapShard>> map_shards_;
+  std::vector<std::unique_ptr<IndexShard>> index_shards_;
+
+  // Transactions whose Remove already ran: late collected-set stamping for
+  // them is suppressed so their ids cannot leak into new versions forever.
+  static constexpr std::size_t kRemovedRing = 1 << 16;
+  mutable std::mutex removed_mu_;
+  std::unordered_set<TxId> removed_set_;
+  std::deque<TxId> removed_ring_;
+};
+
+}  // namespace fwkv::store

@@ -1,0 +1,67 @@
+#include "store/sv_store.hpp"
+
+#include <cassert>
+#include <mutex>
+
+#include "common/consistent_hash.hpp"
+
+namespace fwkv::store {
+
+SVStore::SVStore(std::size_t shards) {
+  assert(shards > 0);
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+SVStore::Shard& SVStore::shard_for(Key key) {
+  return *shards_[hash_key(key) % shards_.size()];
+}
+
+const SVStore::Shard& SVStore::shard_for(Key key) const {
+  return *shards_[hash_key(key) % shards_.size()];
+}
+
+void SVStore::load(Key key, Value value) {
+  Shard& s = shard_for(key);
+  std::unique_lock<std::shared_mutex> lock(s.mu);
+  auto& item = s.map[key];
+  item.value = std::move(value);
+  item.version = 1;
+}
+
+std::optional<SVStore::Item> SVStore::read(Key key) const {
+  const Shard& s = shard_for(key);
+  std::shared_lock<std::shared_mutex> lock(s.mu);
+  auto it = s.map.find(key);
+  if (it == s.map.end()) return std::nullopt;
+  return it->second;
+}
+
+bool SVStore::validate(Key key, VersionId expected) const {
+  const Shard& s = shard_for(key);
+  std::shared_lock<std::shared_mutex> lock(s.mu);
+  auto it = s.map.find(key);
+  const VersionId current = it == s.map.end() ? 0 : it->second.version;
+  return current == expected;
+}
+
+void SVStore::install(Key key, Value value) {
+  Shard& s = shard_for(key);
+  std::unique_lock<std::shared_mutex> lock(s.mu);
+  auto& item = s.map[key];
+  item.value = std::move(value);
+  ++item.version;
+}
+
+std::size_t SVStore::key_count() const {
+  std::size_t n = 0;
+  for (const auto& s : shards_) {
+    std::shared_lock<std::shared_mutex> lock(s->mu);
+    n += s->map.size();
+  }
+  return n;
+}
+
+}  // namespace fwkv::store

@@ -1,0 +1,52 @@
+// Single-version store for the 2PC-baseline comparator (§5: "a serializable
+// key-value store where all transactions execute optimistically and rely on
+// the Two-Phase Commit protocol to commit ... thus without needing
+// multiversioning").
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace fwkv::store {
+
+class SVStore {
+ public:
+  struct Item {
+    Value value;
+    /// Bumped on every install; reads record it, prepare validates it.
+    VersionId version = 0;
+  };
+
+  explicit SVStore(std::size_t shards = 64);
+
+  void load(Key key, Value value);
+
+  /// Optimistic read: current value + version, or nullopt if absent.
+  std::optional<Item> read(Key key) const;
+
+  /// True iff the key's current version equals `expected` (absent keys
+  /// validate against version 0).
+  bool validate(Key key, VersionId expected) const;
+
+  /// Overwrite (or create) the key, bumping its version.
+  void install(Key key, Value value);
+
+  std::size_t key_count() const;
+
+ private:
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<Key, Item> map;
+  };
+  Shard& shard_for(Key key);
+  const Shard& shard_for(Key key) const;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace fwkv::store

@@ -1,0 +1,267 @@
+#include "twopc/twopc_node.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+#include "net/network.hpp"
+
+namespace fwkv {
+
+using net::DecideMessage;
+using net::Message;
+using net::PrepareRequest;
+using net::ReadRequest;
+using net::ReadReturn;
+using net::ReadValidationEntry;
+using net::VoteFail;
+using net::VoteReply;
+using net::WriteEntry;
+
+TwoPcNode::TwoPcNode(NodeId id, ClusterContext& ctx) : KvNode(id, ctx) {}
+
+void TwoPcNode::begin(Transaction& /*tx*/) {
+  // Optimistic execution: nothing to snapshot.
+}
+
+std::optional<Value> TwoPcNode::read(Transaction& tx, Key key) {
+  if (auto written = tx.written_value(key)) return written;
+  if (auto cached = tx.cached_read(key)) return cached;
+
+  const NodeId target = ctx_.mapper->node_for(key);
+  ReadRequest req;
+  req.tx.id = tx.id();
+  req.tx.read_only = tx.read_only();
+  req.key = key;
+  auto call = ctx_.network->send_request(id_, target, std::move(req));
+  auto reply = call.await(ctx_.config.rpc_timeout);
+  if (!reply.has_value()) return std::nullopt;
+  auto& rr = std::get<ReadReturn>(*reply);
+  if (!rr.found) return std::nullopt;
+
+  // Record the observed version: prepare re-checks it on the owner node.
+  tx.record_validation(key, rr.version_id);
+  tx.cache_read(key, rr.value);
+  return rr.value;
+}
+
+bool TwoPcNode::commit(Transaction& tx) {
+  // Unlike the PSI systems, read-only transactions go through the full
+  // prepare/decide cycle to validate their reads (this is the cost the
+  // paper's Fig. 5/8 measure against).
+  struct SiteWork {
+    std::vector<WriteEntry> writes;
+    std::vector<ReadValidationEntry> reads;
+  };
+  std::map<NodeId, SiteWork> by_site;
+  for (const auto& [key, value] : tx.write_set()) {
+    by_site[ctx_.mapper->node_for(key)].writes.push_back(WriteEntry{key, value});
+  }
+  for (const auto& [key, version] : tx.validation_set()) {
+    // A key that is also written is validated with the exclusive lock; no
+    // separate shared entry needed — the participant handles the overlap.
+    by_site[ctx_.mapper->node_for(key)].reads.push_back(
+        ReadValidationEntry{key, version});
+  }
+  if (by_site.empty()) {  // touched nothing at all
+    tx.mark_committed();
+    stats_.ro_commits.add();
+    return true;
+  }
+
+  std::vector<net::RpcCall> calls;
+  std::vector<NodeId> participants;
+  for (auto& [site, work] : by_site) {
+    PrepareRequest prep;
+    prep.tx = tx.id();
+    prep.writes = work.writes;
+    prep.reads = work.reads;
+    participants.push_back(site);
+    calls.push_back(ctx_.network->send_request(id_, site, std::move(prep)));
+  }
+
+  bool outcome = true;
+  AbortReason reason = AbortReason::kNone;
+  for (auto& call : calls) {
+    auto reply = call.await(ctx_.config.rpc_timeout);
+    if (!reply.has_value()) {
+      outcome = false;
+      if (reason == AbortReason::kNone) reason = AbortReason::kVoteTimeout;
+      continue;
+    }
+    const auto& vote = std::get<VoteReply>(*reply);
+    if (!vote.ok) {
+      outcome = false;
+      if (reason == AbortReason::kNone) {
+        reason = vote.fail_reason == VoteFail::kLock
+                     ? AbortReason::kLockTimeout
+                     : AbortReason::kValidation;
+      }
+    }
+  }
+
+  // Full synchronous second phase: the transaction completes only after
+  // every participant applied the decision and acknowledged. This is the
+  // read-only commit cost PSI avoids (§5: read-only transactions "undergo
+  // an expensive commit phase using the 2PC protocol").
+  std::vector<net::RpcCall> ack_calls;
+  for (NodeId site : participants) {
+    DecideMessage d;
+    d.tx = tx.id();
+    d.outcome = outcome;
+    d.origin = id_;
+    d.writes = by_site[site].writes;
+    ack_calls.push_back(ctx_.network->send_request(id_, site, std::move(d)));
+  }
+  for (auto& call : ack_calls) {
+    (void)call.await(ctx_.config.rpc_timeout);
+  }
+
+  if (outcome) {
+    tx.mark_committed();
+    if (tx.write_set().empty()) {
+      stats_.ro_commits.add();
+    } else {
+      stats_.update_commits.add();
+    }
+    return true;
+  }
+  tx.mark_aborted(reason);
+  switch (reason) {
+    case AbortReason::kLockTimeout:
+      stats_.aborts_lock.add();
+      break;
+    case AbortReason::kValidation:
+      stats_.aborts_validation.add();
+      break;
+    default:
+      stats_.aborts_vote_timeout.add();
+      break;
+  }
+  return false;
+}
+
+void TwoPcNode::load(Key key, Value value) {
+  store_.load(key, std::move(value));
+}
+
+void TwoPcNode::handle_message(Message msg, NodeId /*from*/) {
+  std::visit(
+      [this](auto&& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, ReadRequest>) {
+          on_read_request(m);
+        } else if constexpr (std::is_same_v<T, PrepareRequest>) {
+          on_prepare(m);
+        } else if constexpr (std::is_same_v<T, DecideMessage>) {
+          on_decide(std::move(m));
+        } else {
+          assert(false && "unexpected message for 2PC-baseline node");
+        }
+      },
+      std::move(msg));
+}
+
+void TwoPcNode::on_read_request(const ReadRequest& req) {
+  stats_.reads_served.add();
+  ReadReturn ret;
+  ret.rpc_id = req.rpc_id;
+  if (auto item = store_.read(req.key)) {
+    ret.found = true;
+    ret.value = std::move(item->value);
+    ret.version_id = item->version;
+    ret.latest_id = item->version;
+  }
+  ctx_.network->send(id_, req.reply_to, std::move(ret));
+}
+
+void TwoPcNode::on_prepare(const PrepareRequest& req) {
+  PreparedLocks held;
+  for (const auto& w : req.writes) held.exclusive.push_back(w.key);
+  std::sort(held.exclusive.begin(), held.exclusive.end());
+  held.exclusive.erase(
+      std::unique(held.exclusive.begin(), held.exclusive.end()),
+      held.exclusive.end());
+  for (const auto& r : req.reads) {
+    if (!std::binary_search(held.exclusive.begin(), held.exclusive.end(),
+                            r.key)) {
+      held.shared.push_back(r.key);
+    }
+  }
+  std::sort(held.shared.begin(), held.shared.end());
+  held.shared.erase(std::unique(held.shared.begin(), held.shared.end()),
+                    held.shared.end());
+
+  VoteReply vote;
+  vote.rpc_id = req.rpc_id;
+  vote.ok = true;
+
+  if (!locks_.lock_all_exclusive(held.exclusive, req.tx,
+                                 ctx_.config.lock_timeout)) {
+    vote.ok = false;
+    vote.fail_reason = VoteFail::kLock;
+  } else {
+    std::size_t shared_got = 0;
+    for (; shared_got < held.shared.size(); ++shared_got) {
+      if (!locks_.lock_shared(held.shared[shared_got], req.tx,
+                              ctx_.config.lock_timeout)) {
+        break;
+      }
+    }
+    if (shared_got < held.shared.size()) {
+      for (std::size_t i = 0; i < shared_got; ++i) {
+        locks_.unlock_shared(held.shared[i], req.tx);
+      }
+      locks_.unlock_all_exclusive(held.exclusive, req.tx);
+      vote.ok = false;
+      vote.fail_reason = VoteFail::kLock;
+    } else {
+      // All locks held: validate every read against the current version.
+      for (const auto& r : req.reads) {
+        if (!store_.validate(r.key, r.version)) {
+          vote.ok = false;
+          vote.fail_reason = VoteFail::kValidation;
+          break;
+        }
+      }
+      if (!vote.ok) {
+        for (Key k : held.shared) locks_.unlock_shared(k, req.tx);
+        locks_.unlock_all_exclusive(held.exclusive, req.tx);
+      } else {
+        std::lock_guard<std::mutex> lock(prepared_mu_);
+        prepared_[req.tx] = std::move(held);
+      }
+    }
+  }
+  ctx_.network->send(id_, req.reply_to, std::move(vote));
+}
+
+void TwoPcNode::on_decide(DecideMessage&& m) {
+  release_prepared(m.tx, m.outcome, m.writes);
+  if (m.outcome) stats_.decides_applied.add();
+  if (m.rpc_id != 0) {
+    ctx_.network->send(id_, m.reply_to, net::DecideAck{m.rpc_id});
+  }
+}
+
+void TwoPcNode::release_prepared(TxId tx, bool install,
+                                 const std::vector<WriteEntry>& writes) {
+  PreparedLocks held;
+  {
+    std::lock_guard<std::mutex> lock(prepared_mu_);
+    auto it = prepared_.find(tx);
+    if (it == prepared_.end()) return;  // voted no; nothing held
+    held = std::move(it->second);
+    prepared_.erase(it);
+  }
+  if (install) {
+    for (const auto& w : writes) {
+      store_.install(w.key, w.value);
+      stats_.versions_installed.add();
+    }
+  }
+  for (Key k : held.shared) locks_.unlock_shared(k, tx);
+  locks_.unlock_all_exclusive(held.exclusive, tx);
+}
+
+}  // namespace fwkv

@@ -1,0 +1,55 @@
+// 2PC-baseline (§5): a serializable distributed key-value store where every
+// transaction — including read-only ones — executes optimistically and then
+// validates its read-set and installs its write-set through Two-Phase
+// Commit. Single-versioned: a read observes the current value, records its
+// version, and the version must still be current at prepare time.
+//
+// This is the comparator whose read-only commit cost PSI systems avoid; the
+// paper reports FW-KV/Walter at >3x its throughput.
+#pragma once
+
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/kv_node.hpp"
+#include "store/lock_table.hpp"
+#include "store/sv_store.hpp"
+
+namespace fwkv {
+
+class TwoPcNode final : public KvNode {
+ public:
+  TwoPcNode(NodeId id, ClusterContext& ctx);
+
+  // ---- client-side API ----
+  void begin(Transaction& tx) override;
+  std::optional<Value> read(Transaction& tx, Key key) override;
+  bool commit(Transaction& tx) override;
+  void load(Key key, Value value) override;
+
+  // ---- NodeEndpoint ----
+  void handle_message(net::Message msg, NodeId from) override;
+  std::size_t pending_work() const override { return 0; }
+
+  store::SVStore& sv_store() { return store_; }
+
+ private:
+  void on_read_request(const net::ReadRequest& req);
+  void on_prepare(const net::PrepareRequest& req);
+  void on_decide(net::DecideMessage&& m);
+  void release_prepared(TxId tx, bool install,
+                        const std::vector<net::WriteEntry>& writes);
+
+  store::SVStore store_;
+  store::LockTable locks_;
+
+  struct PreparedLocks {
+    std::vector<Key> exclusive;  // written keys
+    std::vector<Key> shared;     // read-only-validated keys
+  };
+  std::mutex prepared_mu_;
+  std::unordered_map<TxId, PreparedLocks> prepared_;
+};
+
+}  // namespace fwkv

@@ -1,0 +1,112 @@
+// TPC-C workload: five transaction profiles over the KV-mapped schema.
+//
+// Update profiles:  NewOrder, Payment, Delivery.
+// Read-only:        OrderStatus, StockLevel.
+//
+// The paper's §1 motivating example lives here: Order-Status is the
+// read-only transaction whose first access retrieves the warehouse's data
+// and whose subsequent reads hit objects committed along with it, so FW-KV
+// always serves it the latest snapshot.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "runtime/driver.hpp"
+#include "workload/tpcc_schema.hpp"
+
+namespace fwkv::tpcc {
+
+struct TpccConfig {
+  /// W/n in the paper's Figs. 8/9 (8, 16 or 32).
+  std::uint32_t warehouses_per_node = 16;
+  std::uint32_t districts_per_warehouse = 10;
+  /// Scaled from the spec's 3000 (see tpcc_schema.hpp header comment).
+  std::uint32_t customers_per_district = 120;
+  /// Scaled from the spec's 100000.
+  std::uint32_t items = 2000;
+  std::uint32_t initial_orders_per_district = 3;
+
+  /// Fraction of read-only transactions (paper: 0.2 / 0.5). Within the
+  /// read-only share, OrderStatus:StockLevel = 70:30; within the update
+  /// share, NewOrder:Payment:Delivery ~ 47:45:8.
+  double read_only_ratio = 0.2;
+
+  /// NewOrder lines per order (spec: 5..15).
+  std::uint32_t min_lines = 5;
+  std::uint32_t max_lines = 15;
+  /// Probability an order line is supplied by a remote warehouse (spec 1%).
+  double remote_supply_prob = 0.01;
+  /// Probability Payment pays a customer of a remote warehouse (spec 15%).
+  double remote_payment_prob = 0.15;
+
+  std::uint32_t max_retries = 1000;
+};
+
+enum class Profile : std::uint8_t {
+  kNewOrder,
+  kPayment,
+  kDelivery,
+  kOrderStatus,
+  kStockLevel,
+};
+inline constexpr std::size_t kNumProfiles = 5;
+
+inline const char* profile_name(Profile p) {
+  switch (p) {
+    case Profile::kNewOrder:
+      return "NewOrder";
+    case Profile::kPayment:
+      return "Payment";
+    case Profile::kDelivery:
+      return "Delivery";
+    case Profile::kOrderStatus:
+      return "OrderStatus";
+    case Profile::kStockLevel:
+      return "StockLevel";
+  }
+  return "?";
+}
+
+inline bool profile_is_read_only(Profile p) {
+  return p == Profile::kOrderStatus || p == Profile::kStockLevel;
+}
+
+class TpccWorkload final : public runtime::Workload {
+ public:
+  TpccWorkload(TpccConfig config, std::uint32_t num_nodes);
+
+  /// Total warehouses = warehouses_per_node * num_nodes.
+  std::uint32_t total_warehouses() const { return total_warehouses_; }
+  const TpccConfig& config() const { return config_; }
+
+  /// The placement the cluster must be configured with.
+  static std::shared_ptr<const KeyMapper> make_mapper(std::uint32_t num_nodes);
+
+  void load(Cluster& cluster) override;
+  void execute_one(Session& session, Rng& rng,
+                   runtime::ClientStats& stats) override;
+
+  /// Profile selection (exposed for mix tests).
+  Profile pick_profile(Rng& rng) const;
+
+  // Individual profiles; return true if the logical transaction committed.
+  // Exposed for unit tests and the freshness experiments.
+  bool run_new_order(Session& s, Rng& rng, runtime::ClientStats& stats);
+  bool run_payment(Session& s, Rng& rng, runtime::ClientStats& stats);
+  bool run_delivery(Session& s, Rng& rng, runtime::ClientStats& stats);
+  bool run_order_status(Session& s, Rng& rng, runtime::ClientStats& stats);
+  bool run_stock_level(Session& s, Rng& rng, runtime::ClientStats& stats);
+
+ private:
+  std::uint32_t pick_warehouse(Rng& rng) const;
+  std::uint32_t pick_district(Rng& rng) const;
+  std::uint32_t pick_customer(Rng& rng) const;
+  std::uint32_t pick_item(Rng& rng) const;
+
+  TpccConfig config_;
+  std::uint32_t num_nodes_;
+  std::uint32_t total_warehouses_;
+};
+
+}  // namespace fwkv::tpcc

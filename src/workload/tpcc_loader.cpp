@@ -1,0 +1,126 @@
+// Initial population of the TPC-C data set (spec clause 4.3, scaled).
+#include "workload/tpcc.hpp"
+
+namespace fwkv::tpcc {
+
+TpccWorkload::TpccWorkload(TpccConfig config, std::uint32_t num_nodes)
+    : config_(config),
+      num_nodes_(num_nodes),
+      total_warehouses_(config.warehouses_per_node * num_nodes) {}
+
+std::shared_ptr<const KeyMapper> TpccWorkload::make_mapper(
+    std::uint32_t num_nodes) {
+  return std::make_shared<const TpccKeyMapper>(num_nodes);
+}
+
+void TpccWorkload::load(Cluster& cluster) {
+  Rng rng(0x7ecc);
+
+  // Items are shared by all warehouses.
+  for (std::uint32_t i = 1; i <= config_.items; ++i) {
+    ItemRow item;
+    item.name = rng.next_astring(14, 24);
+    item.price_cents = static_cast<std::int64_t>(rng.next_range(100, 10000));
+    item.data = rng.next_astring(26, 50);
+    cluster.load(item_key(i), item.encode());
+  }
+
+  for (std::uint32_t w = 0; w < total_warehouses_; ++w) {
+    WarehouseRow wh;
+    wh.name = rng.next_astring(6, 10);
+    wh.street = rng.next_astring(10, 20);
+    wh.city = rng.next_astring(10, 20);
+    wh.state = rng.next_astring(2, 2);
+    wh.zip = rng.next_nstring(9, 9);
+    wh.tax_bp = static_cast<std::uint32_t>(rng.next_range(0, 2000));
+    wh.ytd_cents = 30'000'000;  // spec: W_YTD = 300,000.00
+    cluster.load(warehouse_key(w), wh.encode());
+
+    for (std::uint32_t i = 1; i <= config_.items; ++i) {
+      StockRow st;
+      st.quantity = static_cast<std::int32_t>(rng.next_range(10, 100));
+      st.dist_info = rng.next_astring(24, 24);
+      cluster.load(stock_key(w, i), st.encode());
+    }
+
+    for (std::uint32_t d = 1; d <= config_.districts_per_warehouse; ++d) {
+      DistrictRow dist;
+      dist.name = rng.next_astring(6, 10);
+      dist.street = rng.next_astring(10, 20);
+      dist.city = rng.next_astring(10, 20);
+      dist.tax_bp = static_cast<std::uint32_t>(rng.next_range(0, 2000));
+      dist.ytd_cents = 3'000'000;
+      dist.next_o_id = config_.initial_orders_per_district + 1;
+      dist.next_delivery_o_id = 1;
+      cluster.load(district_key(w, d), dist.encode());
+
+      for (std::uint32_t c = 1; c <= config_.customers_per_district; ++c) {
+        CustomerRow cust;
+        cust.first = rng.next_astring(8, 16);
+        cust.last = rng.next_astring(8, 16);
+        cust.street = rng.next_astring(10, 20);
+        cust.city = rng.next_astring(10, 20);
+        cust.phone = rng.next_nstring(16, 16);
+        cust.credit = rng.next_bool(0.1) ? "BC" : "GC";
+        cust.discount_bp =
+            static_cast<std::uint32_t>(rng.next_range(0, 5000));
+        cust.credit_lim_cents = 5'000'000;
+        cust.balance_cents = -1000;  // spec: C_BALANCE = -10.00
+        cluster.load(customer_key(w, d, c), cust.encode());
+        cluster.load(customer_last_order_key(w, d, c),
+                     CustomerLastOrderRow{0}.encode());
+      }
+
+      // Seed a few undelivered orders so Delivery / OrderStatus /
+      // StockLevel have material from the first transaction on.
+      for (std::uint32_t o = 1; o <= config_.initial_orders_per_district;
+           ++o) {
+        const auto c_id = static_cast<std::uint32_t>(
+            rng.next_range(1, config_.customers_per_district));
+        OrderRow order;
+        order.c_id = c_id;
+        order.entry_d = o;
+        order.carrier_id = 0;
+        order.ol_cnt = static_cast<std::uint32_t>(
+            rng.next_range(config_.min_lines, config_.max_lines));
+        cluster.load(order_key(w, d, o), order.encode());
+        cluster.load(new_order_key(w, d, o), NewOrderRow{true}.encode());
+        cluster.load(customer_last_order_key(w, d, c_id),
+                     CustomerLastOrderRow{o}.encode());
+        for (std::uint32_t l = 1; l <= order.ol_cnt; ++l) {
+          OrderLineRow ol;
+          ol.i_id = pick_item(rng);
+          ol.supply_w_id = w;
+          ol.quantity = 5;
+          ol.amount_cents =
+              static_cast<std::int64_t>(rng.next_range(100, 999900));
+          ol.dist_info = rng.next_astring(24, 24);
+          cluster.load(order_line_key(w, d, o, l), ol.encode());
+        }
+      }
+    }
+  }
+}
+
+std::uint32_t TpccWorkload::pick_warehouse(Rng& rng) const {
+  // §5: keys are selected uniformly — any client may pick any warehouse, so
+  // accesses "might or might not be to the local data repository".
+  return static_cast<std::uint32_t>(rng.next_below(total_warehouses_));
+}
+
+std::uint32_t TpccWorkload::pick_district(Rng& rng) const {
+  return static_cast<std::uint32_t>(
+      rng.next_range(1, config_.districts_per_warehouse));
+}
+
+std::uint32_t TpccWorkload::pick_customer(Rng& rng) const {
+  // NURand over the scaled customer population.
+  return static_cast<std::uint32_t>(
+      rng.nurand(1023, 1, config_.customers_per_district));
+}
+
+std::uint32_t TpccWorkload::pick_item(Rng& rng) const {
+  return static_cast<std::uint32_t>(rng.nurand(8191, 1, config_.items));
+}
+
+}  // namespace fwkv::tpcc

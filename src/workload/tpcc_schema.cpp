@@ -1,0 +1,264 @@
+#include "workload/tpcc_schema.hpp"
+
+#include "common/consistent_hash.hpp"
+#include "net/codec.hpp"
+
+namespace fwkv::tpcc {
+namespace {
+
+using net::Decoder;
+using net::Encoder;
+
+Value finish(Encoder& e) {
+  auto bytes = e.take();
+  return Value(bytes.begin(), bytes.end());
+}
+
+std::vector<std::uint8_t> to_bytes(const Value& v) {
+  return std::vector<std::uint8_t>(v.begin(), v.end());
+}
+
+}  // namespace
+
+Value WarehouseRow::encode() const {
+  Encoder e;
+  e.put_string(name);
+  e.put_string(street);
+  e.put_string(city);
+  e.put_string(state);
+  e.put_string(zip);
+  e.put_u32(tax_bp);
+  e.put_u64(static_cast<std::uint64_t>(ytd_cents));
+  return finish(e);
+}
+
+std::optional<WarehouseRow> WarehouseRow::decode(const Value& v) {
+  auto bytes = to_bytes(v);
+  Decoder d(bytes);
+  WarehouseRow r;
+  r.name = d.get_string();
+  r.street = d.get_string();
+  r.city = d.get_string();
+  r.state = d.get_string();
+  r.zip = d.get_string();
+  r.tax_bp = d.get_u32();
+  r.ytd_cents = static_cast<std::int64_t>(d.get_u64());
+  if (!d.ok()) return std::nullopt;
+  return r;
+}
+
+Value DistrictRow::encode() const {
+  Encoder e;
+  e.put_string(name);
+  e.put_string(street);
+  e.put_string(city);
+  e.put_u32(tax_bp);
+  e.put_u64(static_cast<std::uint64_t>(ytd_cents));
+  e.put_u32(next_o_id);
+  e.put_u32(next_delivery_o_id);
+  return finish(e);
+}
+
+std::optional<DistrictRow> DistrictRow::decode(const Value& v) {
+  auto bytes = to_bytes(v);
+  Decoder d(bytes);
+  DistrictRow r;
+  r.name = d.get_string();
+  r.street = d.get_string();
+  r.city = d.get_string();
+  r.tax_bp = d.get_u32();
+  r.ytd_cents = static_cast<std::int64_t>(d.get_u64());
+  r.next_o_id = d.get_u32();
+  r.next_delivery_o_id = d.get_u32();
+  if (!d.ok()) return std::nullopt;
+  return r;
+}
+
+Value CustomerRow::encode() const {
+  Encoder e;
+  e.put_string(first);
+  e.put_string(last);
+  e.put_string(street);
+  e.put_string(city);
+  e.put_string(phone);
+  e.put_string(credit);
+  e.put_u32(discount_bp);
+  e.put_u64(static_cast<std::uint64_t>(credit_lim_cents));
+  e.put_u64(static_cast<std::uint64_t>(balance_cents));
+  e.put_u64(static_cast<std::uint64_t>(ytd_payment_cents));
+  e.put_u32(payment_cnt);
+  e.put_u32(delivery_cnt);
+  return finish(e);
+}
+
+std::optional<CustomerRow> CustomerRow::decode(const Value& v) {
+  auto bytes = to_bytes(v);
+  Decoder d(bytes);
+  CustomerRow r;
+  r.first = d.get_string();
+  r.last = d.get_string();
+  r.street = d.get_string();
+  r.city = d.get_string();
+  r.phone = d.get_string();
+  r.credit = d.get_string();
+  r.discount_bp = d.get_u32();
+  r.credit_lim_cents = static_cast<std::int64_t>(d.get_u64());
+  r.balance_cents = static_cast<std::int64_t>(d.get_u64());
+  r.ytd_payment_cents = static_cast<std::int64_t>(d.get_u64());
+  r.payment_cnt = d.get_u32();
+  r.delivery_cnt = d.get_u32();
+  if (!d.ok()) return std::nullopt;
+  return r;
+}
+
+Value ItemRow::encode() const {
+  Encoder e;
+  e.put_string(name);
+  e.put_u64(static_cast<std::uint64_t>(price_cents));
+  e.put_string(data);
+  return finish(e);
+}
+
+std::optional<ItemRow> ItemRow::decode(const Value& v) {
+  auto bytes = to_bytes(v);
+  Decoder d(bytes);
+  ItemRow r;
+  r.name = d.get_string();
+  r.price_cents = static_cast<std::int64_t>(d.get_u64());
+  r.data = d.get_string();
+  if (!d.ok()) return std::nullopt;
+  return r;
+}
+
+Value StockRow::encode() const {
+  Encoder e;
+  e.put_u32(static_cast<std::uint32_t>(quantity));
+  e.put_u64(static_cast<std::uint64_t>(ytd));
+  e.put_u32(order_cnt);
+  e.put_u32(remote_cnt);
+  e.put_string(dist_info);
+  return finish(e);
+}
+
+std::optional<StockRow> StockRow::decode(const Value& v) {
+  auto bytes = to_bytes(v);
+  Decoder d(bytes);
+  StockRow r;
+  r.quantity = static_cast<std::int32_t>(d.get_u32());
+  r.ytd = static_cast<std::int64_t>(d.get_u64());
+  r.order_cnt = d.get_u32();
+  r.remote_cnt = d.get_u32();
+  r.dist_info = d.get_string();
+  if (!d.ok()) return std::nullopt;
+  return r;
+}
+
+Value OrderRow::encode() const {
+  Encoder e;
+  e.put_u32(c_id);
+  e.put_u64(entry_d);
+  e.put_u32(carrier_id);
+  e.put_u32(ol_cnt);
+  e.put_bool(all_local);
+  return finish(e);
+}
+
+std::optional<OrderRow> OrderRow::decode(const Value& v) {
+  auto bytes = to_bytes(v);
+  Decoder d(bytes);
+  OrderRow r;
+  r.c_id = d.get_u32();
+  r.entry_d = d.get_u64();
+  r.carrier_id = d.get_u32();
+  r.ol_cnt = d.get_u32();
+  r.all_local = d.get_bool();
+  if (!d.ok()) return std::nullopt;
+  return r;
+}
+
+Value NewOrderRow::encode() const {
+  Encoder e;
+  e.put_bool(pending);
+  return finish(e);
+}
+
+std::optional<NewOrderRow> NewOrderRow::decode(const Value& v) {
+  auto bytes = to_bytes(v);
+  Decoder d(bytes);
+  NewOrderRow r;
+  r.pending = d.get_bool();
+  if (!d.ok()) return std::nullopt;
+  return r;
+}
+
+Value OrderLineRow::encode() const {
+  Encoder e;
+  e.put_u32(i_id);
+  e.put_u32(supply_w_id);
+  e.put_u64(delivery_d);
+  e.put_u32(quantity);
+  e.put_u64(static_cast<std::uint64_t>(amount_cents));
+  e.put_string(dist_info);
+  return finish(e);
+}
+
+std::optional<OrderLineRow> OrderLineRow::decode(const Value& v) {
+  auto bytes = to_bytes(v);
+  Decoder d(bytes);
+  OrderLineRow r;
+  r.i_id = d.get_u32();
+  r.supply_w_id = d.get_u32();
+  r.delivery_d = d.get_u64();
+  r.quantity = d.get_u32();
+  r.amount_cents = static_cast<std::int64_t>(d.get_u64());
+  r.dist_info = d.get_string();
+  if (!d.ok()) return std::nullopt;
+  return r;
+}
+
+Value HistoryRow::encode() const {
+  Encoder e;
+  e.put_u32(c_id);
+  e.put_u64(static_cast<std::uint64_t>(amount_cents));
+  e.put_u64(date);
+  e.put_string(data);
+  return finish(e);
+}
+
+std::optional<HistoryRow> HistoryRow::decode(const Value& v) {
+  auto bytes = to_bytes(v);
+  Decoder d(bytes);
+  HistoryRow r;
+  r.c_id = d.get_u32();
+  r.amount_cents = static_cast<std::int64_t>(d.get_u64());
+  r.date = d.get_u64();
+  r.data = d.get_string();
+  if (!d.ok()) return std::nullopt;
+  return r;
+}
+
+Value CustomerLastOrderRow::encode() const {
+  Encoder e;
+  e.put_u32(o_id);
+  return finish(e);
+}
+
+std::optional<CustomerLastOrderRow> CustomerLastOrderRow::decode(
+    const Value& v) {
+  auto bytes = to_bytes(v);
+  Decoder d(bytes);
+  CustomerLastOrderRow r;
+  r.o_id = d.get_u32();
+  if (!d.ok()) return std::nullopt;
+  return r;
+}
+
+NodeId TpccKeyMapper::node_for(Key key) const {
+  if (table_of(key) == Table::kItem) {
+    // Items belong to no warehouse; spread them evenly by hash.
+    return static_cast<NodeId>(hash_key(key) % num_nodes_);
+  }
+  return warehouse_of(key) % num_nodes_;
+}
+
+}  // namespace fwkv::tpcc

@@ -1,0 +1,59 @@
+#include "workload/ycsb.hpp"
+
+#include <algorithm>
+
+namespace fwkv::ycsb {
+
+YcsbWorkload::YcsbWorkload(YcsbConfig config)
+    : config_(config), zipf_(config.total_keys, config.zipf_theta) {}
+
+Value YcsbWorkload::make_value(Rng& rng, std::size_t size) {
+  return rng.next_astring(size, size);
+}
+
+void YcsbWorkload::load(Cluster& cluster) {
+  Rng rng(0x5eed);
+  for (Key k = 0; k < config_.total_keys; ++k) {
+    cluster.load(k, make_value(rng, config_.value_size));
+  }
+}
+
+Key YcsbWorkload::pick_key(Rng& rng) {
+  if (config_.zipf_theta > 0.0) return zipf_.next(rng);
+  return rng.next_below(config_.total_keys);
+}
+
+void YcsbWorkload::execute_one(Session& session, Rng& rng,
+                               runtime::ClientStats& stats) {
+  // Draw the logical transaction's parameters once; retries re-execute the
+  // same transaction (closed-loop clients re-submit on abort).
+  std::vector<Key> keys;
+  keys.reserve(config_.keys_per_tx);
+  while (keys.size() < config_.keys_per_tx) {
+    Key k = pick_key(rng);
+    if (std::find(keys.begin(), keys.end(), k) == keys.end()) {
+      keys.push_back(k);
+    }
+  }
+  const bool read_only = rng.next_bool(config_.read_only_ratio);
+  // Fresh payloads per logical transaction.
+  std::vector<Value> new_values;
+  if (!read_only) {
+    for (std::uint32_t i = 0; i < config_.keys_per_tx; ++i) {
+      new_values.push_back(make_value(rng, config_.value_size));
+    }
+  }
+
+  runtime::run_with_retries(
+      session, stats, read_only, config_.max_retries,
+      [&](Session& s, Transaction& tx) {
+        for (std::size_t i = 0; i < keys.size(); ++i) {
+          auto v = s.read(tx, keys[i]);
+          if (!v.has_value()) return false;  // key space is pre-loaded
+          if (!read_only) s.write(tx, keys[i], new_values[i]);
+        }
+        return true;
+      });
+}
+
+}  // namespace fwkv::ycsb

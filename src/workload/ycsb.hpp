@@ -1,0 +1,45 @@
+// YCSB ported to the transactional key-value model, as configured in §5:
+// two transaction profiles — update (reads and writes the same two keys,
+// which makes the execution equivalent to a serializable one and stresses
+// snapshot freshness) and read-only (reads two keys) — 4-byte keys, 12-byte
+// values, uniform key selection, keys evenly distributed across nodes.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/driver.hpp"
+
+namespace fwkv::ycsb {
+
+struct YcsbConfig {
+  std::uint64_t total_keys = 50'000;
+  /// Fraction of read-only transactions (the paper evaluates 0.2/0.5/0.8).
+  double read_only_ratio = 0.2;
+  std::uint32_t keys_per_tx = 2;
+  std::size_t value_size = 12;
+  /// 0 = uniform (the paper's setting); >0 enables Zipfian skew.
+  double zipf_theta = 0.0;
+  std::uint32_t max_retries = 1000;
+};
+
+class YcsbWorkload final : public runtime::Workload {
+ public:
+  explicit YcsbWorkload(YcsbConfig config);
+
+  void load(Cluster& cluster) override;
+  void execute_one(Session& session, Rng& rng,
+                   runtime::ClientStats& stats) override;
+
+  const YcsbConfig& config() const { return config_; }
+
+  /// Key selection (exposed for distribution tests).
+  Key pick_key(Rng& rng);
+
+  static Value make_value(Rng& rng, std::size_t size);
+
+ private:
+  YcsbConfig config_;
+  ZipfianGenerator zipf_;
+};
+
+}  // namespace fwkv::ycsb

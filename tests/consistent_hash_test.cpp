@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "common/consistent_hash.hpp"
+
+namespace fwkv {
+namespace {
+
+TEST(ConsistentHashTest, Deterministic) {
+  ConsistentHashRing a(10);
+  ConsistentHashRing b(10);
+  for (Key k = 0; k < 1000; ++k) {
+    EXPECT_EQ(a.node_for(k), b.node_for(k));
+  }
+}
+
+TEST(ConsistentHashTest, InRange) {
+  for (std::uint32_t n : {1u, 2u, 5u, 20u}) {
+    ConsistentHashRing ring(n);
+    for (Key k = 0; k < 500; ++k) {
+      EXPECT_LT(ring.node_for(k), n);
+    }
+  }
+}
+
+TEST(ConsistentHashTest, SingleNodeOwnsEverything) {
+  ConsistentHashRing ring(1);
+  for (Key k = 0; k < 100; ++k) EXPECT_EQ(ring.node_for(k), 0u);
+}
+
+TEST(ConsistentHashTest, AllNodesOwnSomething) {
+  ConsistentHashRing ring(20);
+  std::vector<bool> hit(20, false);
+  for (Key k = 0; k < 100000; ++k) hit[ring.node_for(k)] = true;
+  for (std::uint32_t n = 0; n < 20; ++n) {
+    EXPECT_TRUE(hit[n]) << "node " << n << " owns no keys";
+  }
+}
+
+TEST(ConsistentHashTest, ReasonableBalance) {
+  // §5: "keys are evenly distributed across nodes". With 128 vnodes the
+  // per-node share should be within ~2x of ideal.
+  ConsistentHashRing ring(10);
+  auto shares = ring.sample_ownership(1 << 18);
+  for (double s : shares) {
+    EXPECT_GT(s, 0.05);
+    EXPECT_LT(s, 0.20);
+  }
+}
+
+TEST(ConsistentHashTest, MoreVnodesBalanceBetter) {
+  ConsistentHashRing coarse(8, 8);
+  ConsistentHashRing fine(8, 512);
+  auto spread = [](const std::vector<double>& shares) {
+    double lo = 1.0;
+    double hi = 0.0;
+    for (double s : shares) {
+      lo = std::min(lo, s);
+      hi = std::max(hi, s);
+    }
+    return hi - lo;
+  };
+  EXPECT_LT(spread(fine.sample_ownership(1 << 17)),
+            spread(coarse.sample_ownership(1 << 17)));
+}
+
+TEST(ConsistentHashTest, GrowingClusterMovesFewKeys) {
+  // The defining consistent-hashing property: adding one node relocates
+  // roughly 1/(n+1) of the keys, not all of them.
+  ConsistentHashRing before(10);
+  ConsistentHashRing after(11);
+  std::size_t moved = 0;
+  const std::size_t total = 100000;
+  for (Key k = 0; k < total; ++k) {
+    if (before.node_for(k) != after.node_for(k)) ++moved;
+  }
+  const double fraction = static_cast<double>(moved) / total;
+  EXPECT_LT(fraction, 0.25) << "too many keys moved";
+  EXPECT_GT(fraction, 0.02) << "suspiciously few keys moved";
+}
+
+TEST(HashKeyTest, MixesStructuredKeys) {
+  // Sequential keys must not map to sequential hashes (the ring relies on
+  // dispersion).
+  std::size_t close = 0;
+  for (Key k = 0; k < 1000; ++k) {
+    const auto a = hash_key(k);
+    const auto b = hash_key(k + 1);
+    if ((a > b ? a - b : b - a) < (1ull << 32)) ++close;
+  }
+  EXPECT_LT(close, 20u);
+}
+
+TEST(HashKeyTest, Deterministic) {
+  EXPECT_EQ(hash_key(12345), hash_key(12345));
+  EXPECT_NE(hash_key(12345), hash_key(12346));
+}
+
+}  // namespace
+}  // namespace fwkv

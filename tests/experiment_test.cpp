@@ -1,0 +1,141 @@
+// Experiment harness + geo/jitter network features.
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "runtime/experiment.hpp"
+
+namespace fwkv {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(TwoRegionMatrixTest, IntraAndInterRegionLatencies) {
+  auto m = net::SimNetwork::two_region_matrix(6, 3, 100us, 5ms);
+  ASSERT_EQ(m.size(), 6u);
+  EXPECT_EQ(m[0][1], 100us);  // west-west
+  EXPECT_EQ(m[4][5], 100us);  // east-east
+  EXPECT_EQ(m[0][3], 5ms);    // west-east
+  EXPECT_EQ(m[5][2], 5ms);    // east-west
+  EXPECT_EQ(m[2][2], 100us);  // self entry (unused: loopback is free)
+}
+
+TEST(ExperimentScaleTest, EnvOverrides) {
+  setenv("FWKV_BENCH_MS", "123", 1);
+  setenv("FWKV_BENCH_CLIENTS", "2", 1);
+  setenv("FWKV_BENCH_LAT_US", "50", 1);
+  setenv("FWKV_BENCH_TRIALS", "7", 1);
+  auto scale = runtime::ExperimentScale::from_env();
+  EXPECT_EQ(scale.measure, std::chrono::milliseconds(123));
+  EXPECT_EQ(scale.clients_per_node, 2u);
+  EXPECT_EQ(scale.one_way_latency, std::chrono::microseconds(50));
+  EXPECT_EQ(scale.trials, 7u);
+  unsetenv("FWKV_BENCH_MS");
+  unsetenv("FWKV_BENCH_CLIENTS");
+  unsetenv("FWKV_BENCH_LAT_US");
+  unsetenv("FWKV_BENCH_TRIALS");
+}
+
+TEST(ExperimentScaleTest, DefaultsWithoutEnv) {
+  unsetenv("FWKV_BENCH_MS");
+  unsetenv("FWKV_BENCH_TRIALS");
+  auto scale = runtime::ExperimentScale::from_env();
+  EXPECT_GT(scale.measure.count(), 0);
+  EXPECT_GE(scale.trials, 1u);
+}
+
+runtime::ExperimentScale tiny_scale() {
+  runtime::ExperimentScale scale;
+  scale.measure = std::chrono::milliseconds(120);
+  scale.warmup = std::chrono::milliseconds(30);
+  scale.clients_per_node = 2;
+  scale.one_way_latency = std::chrono::microseconds(20);
+  scale.trials = 2;
+  return scale;
+}
+
+TEST(ExperimentTest, YcsbPointProducesCommits) {
+  runtime::YcsbPoint point;
+  point.num_nodes = 3;
+  point.total_keys = 2000;
+  auto result = runtime::run_ycsb_point(point, tiny_scale());
+  EXPECT_GT(result.clients.commits(), 0u);
+  EXPECT_GT(result.throughput_tps(), 0.0);
+  // Two pooled trials: measured seconds is roughly twice the window.
+  EXPECT_NEAR(result.seconds, 0.24, 0.15);
+}
+
+TEST(ExperimentTest, TpccPointProducesCommits) {
+  runtime::TpccPoint point;
+  point.num_nodes = 2;
+  point.warehouses_per_node = 1;
+  point.customers_per_district = 10;
+  point.items = 100;
+  auto result = runtime::run_tpcc_point(point, tiny_scale());
+  EXPECT_GT(result.clients.commits(), 0u);
+}
+
+TEST(ExperimentTest, MatrixInterleavesAllPoints) {
+  std::vector<runtime::YcsbPoint> points(3);
+  points[0].protocol = Protocol::kFwKv;
+  points[1].protocol = Protocol::kWalter;
+  points[2].protocol = Protocol::kTwoPC;
+  for (auto& p : points) {
+    p.num_nodes = 2;
+    p.total_keys = 1000;
+  }
+  auto results = runtime::run_ycsb_matrix(points, tiny_scale());
+  ASSERT_EQ(results.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(results[i].protocol, points[i].protocol);
+    EXPECT_GT(results[i].clients.commits(), 0u) << protocol_name(points[i].protocol);
+  }
+}
+
+TEST(GeoClusterTest, TwoRegionClusterWorks) {
+  ClusterConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.protocol = Protocol::kFwKv;
+  cfg.net.one_way_latency = 20us;
+  cfg.net.link_latency =
+      net::SimNetwork::two_region_matrix(4, 2, 20us, 2ms);
+  cfg.net.jitter = 10us;
+  Cluster cluster(cfg);
+  for (Key k = 0; k < 40; ++k) cluster.load(k, "v");
+
+  Session s = cluster.make_session(0, 0);
+  auto tx = s.begin();
+  int reads = 0;
+  for (Key k = 0; k < 40 && reads < 4; ++k) {
+    if (cluster.node_for_key(k) >= 2) {  // a key in the far region
+      ASSERT_TRUE(s.read(tx, k).has_value());
+      s.write(tx, k, "updated");
+      ++reads;
+    }
+  }
+  ASSERT_GT(reads, 0);
+  EXPECT_TRUE(s.commit(tx));
+  ASSERT_TRUE(cluster.quiesce(20s));
+}
+
+TEST(GeoClusterTest, WanLatencyIsObservable) {
+  ClusterConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.protocol = Protocol::kFwKv;
+  cfg.net.link_latency =
+      net::SimNetwork::two_region_matrix(2, 1, 10us, 20ms);
+  Cluster cluster(cfg);
+  Key far = 0;
+  while (cluster.node_for_key(far) != 1) ++far;
+  cluster.load(far, "v");
+
+  Session s = cluster.make_session(0, 0);
+  auto tx = s.begin(true);
+  const auto t0 = std::chrono::steady_clock::now();
+  ASSERT_TRUE(s.read(tx, far).has_value());
+  const auto rtt = std::chrono::steady_clock::now() - t0;
+  s.commit(tx);
+  EXPECT_GE(rtt, 38ms) << "WAN round trip came back too fast";
+}
+
+}  // namespace
+}  // namespace fwkv

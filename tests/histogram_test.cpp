@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/histogram.hpp"
+
+namespace fwkv {
+namespace {
+
+TEST(CounterTest, AddAndGet) {
+  Counter c;
+  EXPECT_EQ(c.get(), 0u);
+  c.add();
+  c.add(9);
+  EXPECT_EQ(c.get(), 10u);
+  c.reset();
+  EXPECT_EQ(c.get(), 0u);
+}
+
+TEST(CounterTest, ConcurrentAdds) {
+  Counter c;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < 10000; ++i) c.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.get(), 40000u);
+}
+
+TEST(AccumulatorTest, TracksSumCountMax) {
+  Accumulator a;
+  a.record(3);
+  a.record(10);
+  a.record(7);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.sum(), 20u);
+  EXPECT_EQ(a.max(), 10u);
+  EXPECT_DOUBLE_EQ(a.mean(), 20.0 / 3.0);
+}
+
+TEST(AccumulatorTest, EmptyMeanIsZero) {
+  Accumulator a;
+  EXPECT_EQ(a.mean(), 0.0);
+}
+
+TEST(AccumulatorTest, ConcurrentMax) {
+  Accumulator a;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&a, t] {
+      for (int i = 0; i < 5000; ++i) {
+        a.record(static_cast<std::uint64_t>(t) * 10000 + i);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(a.count(), 20000u);
+  EXPECT_EQ(a.max(), 34999u);
+}
+
+TEST(LogHistogramTest, CountAndMean) {
+  LogHistogram h;
+  h.record(100);
+  h.record(200);
+  h.record(300);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.mean(), 200.0);
+}
+
+TEST(LogHistogramTest, PercentilesAreOrdered) {
+  LogHistogram h;
+  for (std::uint64_t v = 1; v <= 10000; ++v) h.record(v);
+  const auto p50 = h.value_at_percentile(50);
+  const auto p90 = h.value_at_percentile(90);
+  const auto p99 = h.value_at_percentile(99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  // Log buckets: representative values are within 2x of the true value.
+  EXPECT_GT(p50, 2500u);
+  EXPECT_LT(p50, 10000u);
+}
+
+TEST(LogHistogramTest, EmptyPercentileIsZero) {
+  LogHistogram h;
+  EXPECT_EQ(h.value_at_percentile(99), 0u);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(LogHistogramTest, ZeroValuesLandInFirstBucket) {
+  LogHistogram h;
+  h.record(0);
+  h.record(0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.value_at_percentile(50), 0u);
+}
+
+TEST(LogHistogramTest, MergeCombines) {
+  LogHistogram a;
+  LogHistogram b;
+  a.record(10);
+  b.record(1000);
+  a.merge_from(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 505.0);
+}
+
+TEST(LogHistogramTest, SummaryMentionsCount) {
+  LogHistogram h;
+  h.record(5);
+  EXPECT_NE(h.summary().find("n=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fwkv

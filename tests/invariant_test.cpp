@@ -1,0 +1,254 @@
+// System-wide property tests: safety invariants under concurrent load and
+// failure-ish conditions (delayed propagation).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/rng.hpp"
+#include "core/cluster.hpp"
+#include "core/mv_node.hpp"
+#include "core/session.hpp"
+
+namespace fwkv {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::int64_t parse(const Value& v) {
+  return std::strtoll(v.c_str(), nullptr, 10);
+}
+
+struct InvariantCase {
+  Protocol protocol;
+  std::chrono::milliseconds propagate_delay;
+};
+
+class MoneyConservationTest
+    : public ::testing::TestWithParam<InvariantCase> {};
+
+TEST_P(MoneyConservationTest, TotalBalanceIsInvariant) {
+  // Transfers read-modify-write both accounts: every protocol must detect
+  // write-write conflicts, so no money is created or destroyed — even when
+  // propagation lags (the Fig. 7 failure condition).
+  const auto param = GetParam();
+  ClusterConfig cfg;
+  cfg.num_nodes = 3;
+  cfg.protocol = param.protocol;
+  cfg.net.one_way_latency = std::chrono::microseconds(20);
+  cfg.net.propagate_extra_delay = param.propagate_delay;
+  Cluster cluster(cfg);
+
+  constexpr Key kAccounts = 24;
+  constexpr std::int64_t kInitial = 100;
+  for (Key a = 0; a < kAccounts; ++a) {
+    cluster.load(a, std::to_string(kInitial));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> commits{0};
+  std::vector<std::thread> threads;
+  for (std::uint32_t n = 0; n < cluster.num_nodes(); ++n) {
+    threads.emplace_back([&, n] {
+      Session s = cluster.make_session(n, 0);
+      Rng rng(n * 101 + 7);
+      while (!stop.load(std::memory_order_acquire)) {
+        Key from = rng.next_below(kAccounts);
+        Key to = rng.next_below(kAccounts);
+        if (from == to) continue;
+        auto tx = s.begin();
+        auto fb = s.read(tx, from);
+        auto tb = s.read(tx, to);
+        if (!fb || !tb) continue;
+        const std::int64_t amount = 1 + static_cast<std::int64_t>(rng.next_below(5));
+        s.write(tx, from, std::to_string(parse(*fb) - amount));
+        s.write(tx, to, std::to_string(parse(*tb) + amount));
+        if (s.commit(tx)) commits.fetch_add(1);
+      }
+    });
+  }
+  std::this_thread::sleep_for(300ms);
+  stop = true;
+  for (auto& t : threads) t.join();
+  ASSERT_TRUE(cluster.quiesce(10s));
+  ASSERT_GT(commits.load(), 0u);
+
+  Session auditor = cluster.make_session(0, 50);
+  auto audit = auditor.begin(true);
+  std::int64_t total = 0;
+  for (Key a = 0; a < kAccounts; ++a) {
+    total += parse(auditor.read(audit, a).value());
+  }
+  auditor.commit(audit);
+  EXPECT_EQ(total, kInitial * kAccounts)
+      << "conservation violated after " << commits.load() << " transfers";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, MoneyConservationTest,
+    ::testing::Values(InvariantCase{Protocol::kFwKv, 0ms},
+                      InvariantCase{Protocol::kFwKv, 2ms},
+                      InvariantCase{Protocol::kWalter, 0ms},
+                      InvariantCase{Protocol::kWalter, 2ms},
+                      InvariantCase{Protocol::kTwoPC, 0ms}),
+    [](const auto& info) {
+      std::string name = protocol_name(info.param.protocol);
+      name.erase(std::remove(name.begin(), name.end(), '-'), name.end());
+      return name + (info.param.propagate_delay.count() > 0 ? "Delayed" : "");
+    });
+
+class SnapshotAtomicityTest : public ::testing::TestWithParam<Protocol> {};
+
+TEST_P(SnapshotAtomicityTest, PairsWrittenTogetherAreReadTogether) {
+  // Writers always update (x, y) to the same counter in one transaction;
+  // both keys live on the same node. Any reader — under any of the three
+  // protocols — must observe x == y: a torn pair means the snapshot broke.
+  ClusterConfig cfg;
+  cfg.num_nodes = 3;
+  cfg.protocol = GetParam();
+  cfg.net.one_way_latency = std::chrono::microseconds(20);
+  Cluster cluster(cfg);
+
+  Key x = 0;
+  while (cluster.node_for_key(x) != 1) ++x;
+  Key y = x + 1;
+  while (cluster.node_for_key(y) != 1) ++y;
+  cluster.load(x, "0");
+  cluster.load(y, "0");
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> torn{0};
+  std::atomic<std::uint64_t> reads{0};
+
+  std::thread writer([&] {
+    Session s = cluster.make_session(1, 0);
+    std::int64_t counter = 1;
+    while (!stop.load(std::memory_order_acquire)) {
+      auto tx = s.begin();
+      auto xv = s.read(tx, x);
+      auto yv = s.read(tx, y);
+      if (!xv || !yv) continue;
+      s.write(tx, x, std::to_string(counter));
+      s.write(tx, y, std::to_string(counter));
+      if (s.commit(tx)) ++counter;
+    }
+  });
+  std::vector<std::thread> readers;
+  for (NodeId n = 0; n < 3; ++n) {
+    readers.emplace_back([&, n] {
+      Session s = cluster.make_session(n, 1);
+      while (!stop.load(std::memory_order_acquire)) {
+        auto tx = s.begin(true);
+        auto xv = s.read(tx, x);
+        auto yv = s.read(tx, y);
+        if (!s.commit(tx)) continue;  // 2PC validation may abort
+        if (xv && yv) {
+          reads.fetch_add(1);
+          if (*xv != *yv) torn.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(300ms);
+  stop = true;
+  writer.join();
+  for (auto& t : readers) t.join();
+  ASSERT_TRUE(cluster.quiesce(10s));
+  ASSERT_GT(reads.load(), 0u);
+  EXPECT_EQ(torn.load(), 0u) << "read skew: snapshot returned a torn pair";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, SnapshotAtomicityTest,
+                         ::testing::Values(Protocol::kFwKv, Protocol::kWalter,
+                                           Protocol::kTwoPC),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Protocol::kFwKv:
+                               return "FwKv";
+                             case Protocol::kWalter:
+                               return "Walter";
+                             default:
+                               return "TwoPC";
+                           }
+                         });
+
+TEST(MonotonicSiteVcTest, SiteVcNeverRegresses) {
+  Cluster cluster([] {
+    ClusterConfig cfg;
+    cfg.num_nodes = 3;
+    cfg.protocol = Protocol::kFwKv;
+    cfg.net.one_way_latency = std::chrono::microseconds(20);
+    return cfg;
+  }());
+  for (Key k = 0; k < 30; ++k) cluster.load(k, "v");
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    Session s = cluster.make_session(0, 0);
+    int i = 0;
+    while (!stop) {
+      auto tx = s.begin();
+      s.write(tx, static_cast<Key>(i++ % 30), "w");
+      s.commit(tx);
+    }
+  });
+
+  auto& node1 = dynamic_cast<MvNodeBase&>(cluster.node(1));
+  VectorClock last = node1.site_vc();
+  bool regressed = false;
+  for (int probe = 0; probe < 200; ++probe) {
+    VectorClock now = node1.site_vc();
+    if (!last.leq(now)) regressed = true;
+    last = now;
+    std::this_thread::sleep_for(1ms);
+  }
+  stop = true;
+  writer.join();
+  EXPECT_FALSE(regressed);
+  ASSERT_TRUE(cluster.quiesce());
+}
+
+TEST(SerializableYcsbEquivalenceTest, ReadModifyWriteCountersAreExact) {
+  // §5: "since update transactions in YCSB write the same keys they read,
+  // the final execution is equivalent to ... Serializability". Counters
+  // incremented by read-modify-write transactions must equal the number of
+  // committed increments exactly.
+  ClusterConfig cfg;
+  cfg.num_nodes = 3;
+  cfg.protocol = Protocol::kFwKv;
+  cfg.net.one_way_latency = std::chrono::microseconds(20);
+  Cluster cluster(cfg);
+  constexpr Key kKeys = 8;
+  for (Key k = 0; k < kKeys; ++k) cluster.load(k, "0");
+
+  std::atomic<std::uint64_t> committed_increments{0};
+  std::vector<std::thread> threads;
+  for (NodeId n = 0; n < 3; ++n) {
+    threads.emplace_back([&, n] {
+      Session s = cluster.make_session(n, 0);
+      Rng rng(n + 1);
+      for (int i = 0; i < 300; ++i) {
+        Key k = rng.next_below(kKeys);
+        auto tx = s.begin();
+        auto v = s.read(tx, k);
+        if (!v) continue;
+        s.write(tx, k, std::to_string(parse(*v) + 1));
+        if (s.commit(tx)) committed_increments.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  ASSERT_TRUE(cluster.quiesce(10s));
+
+  Session auditor = cluster.make_session(0, 9);
+  auto audit = auditor.begin(true);
+  std::int64_t total = 0;
+  for (Key k = 0; k < kKeys; ++k) {
+    total += parse(auditor.read(audit, k).value());
+  }
+  auditor.commit(audit);
+  EXPECT_EQ(static_cast<std::uint64_t>(total), committed_increments.load());
+}
+
+}  // namespace
+}  // namespace fwkv

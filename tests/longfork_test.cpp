@@ -1,0 +1,53 @@
+// Long-fork probe assertions (§2.4, §3.3): FW-KV first-contact reads are
+// never stale w.r.t. committed-before-start updates; Walter's are, whenever
+// propagation lags.
+#include <gtest/gtest.h>
+
+#include "runtime/longfork.hpp"
+
+namespace fwkv::runtime {
+namespace {
+
+LongForkProbeConfig probe(Protocol p) {
+  LongForkProbeConfig cfg;
+  cfg.protocol = p;
+  cfg.duration = std::chrono::milliseconds(400);
+  cfg.one_way_latency = std::chrono::microseconds(50);
+  cfg.propagate_extra_delay = std::chrono::milliseconds(2);
+  return cfg;
+}
+
+TEST(LongForkTest, FwKvNeverMissesSettledUpdates) {
+  auto result = run_long_fork_probe(probe(Protocol::kFwKv));
+  ASSERT_GT(result.snapshots, 100u) << "probe produced too little data";
+  ASSERT_GT(result.updates_committed, 10u);
+  EXPECT_EQ(result.stale_first_reads, 0u)
+      << "an FW-KV first-contact read returned a version older than a "
+         "commit that completed before the transaction began";
+  EXPECT_EQ(result.stale_long_fork_pairs, 0u);
+}
+
+TEST(LongForkTest, WalterMissesSettledUpdatesUnderDelay) {
+  auto result = run_long_fork_probe(probe(Protocol::kWalter));
+  ASSERT_GT(result.snapshots, 100u);
+  ASSERT_GT(result.updates_committed, 10u);
+  EXPECT_GT(result.stale_first_reads, 0u)
+      << "Walter with 2 ms propagate delay should serve stale reads";
+}
+
+TEST(LongForkTest, WalterStalenessScalesWithDelay) {
+  auto short_delay = probe(Protocol::kWalter);
+  short_delay.propagate_extra_delay = std::chrono::microseconds(100);
+  auto long_delay = probe(Protocol::kWalter);
+  long_delay.propagate_extra_delay = std::chrono::milliseconds(10);
+
+  auto quick = run_long_fork_probe(short_delay);
+  auto slow = run_long_fork_probe(long_delay);
+  ASSERT_GT(quick.reads, 0u);
+  ASSERT_GT(slow.reads, 0u);
+  EXPECT_GT(slow.stale_first_read_rate(), quick.stale_first_read_rate())
+      << "staleness should grow with the propagation delay";
+}
+
+}  // namespace
+}  // namespace fwkv::runtime

@@ -1,0 +1,231 @@
+// MVStore: reverse index, Remove handling, collected-set stamping.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "store/mv_store.hpp"
+#include "store/sv_store.hpp"
+
+namespace fwkv::store {
+namespace {
+
+constexpr std::size_t kNodes = 3;
+const TxId kRo1(1, 0, 1);
+const TxId kRo2(2, 0, 1);
+
+VectorClock zero() { return VectorClock(kNodes); }
+std::vector<bool> no_mask() { return std::vector<bool>(kNodes, false); }
+
+TEST(MVStoreTest, LoadAndContains) {
+  MVStore store;
+  EXPECT_FALSE(store.contains(1));
+  store.load(1, "a", kNodes);
+  EXPECT_TRUE(store.contains(1));
+  EXPECT_EQ(store.key_count(), 1u);
+}
+
+TEST(MVStoreTest, MissingKeyReadsNotFound) {
+  MVStore store;
+  EXPECT_FALSE(store.read_read_only(9, zero(), no_mask(), kRo1).found);
+  EXPECT_FALSE(store.read_update(9, zero(), no_mask(), false).found);
+  EXPECT_FALSE(store.read_walter(9, zero()).found);
+}
+
+TEST(MVStoreTest, ReadOnlyReadRegistersAndRemoveErases) {
+  MVStore store;
+  store.load(1, "a", kNodes);
+  auto r = store.read_read_only(1, zero(), no_mask(), kRo1);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.value, "a");
+
+  std::vector<TxId> collected;
+  store.collect_access_sets(std::vector<Key>{1}, collected);
+  ASSERT_EQ(collected.size(), 1u);
+  EXPECT_EQ(collected[0], kRo1);
+
+  store.remove_tx(kRo1);
+  collected.clear();
+  store.collect_access_sets(std::vector<Key>{1}, collected);
+  EXPECT_TRUE(collected.empty());
+}
+
+TEST(MVStoreTest, RemoveCleansEveryKeyOnTheNode) {
+  MVStore store;
+  store.load(1, "a", kNodes);
+  store.load(2, "b", kNodes);
+  store.read_read_only(1, zero(), no_mask(), kRo1);
+  store.read_read_only(2, zero(), no_mask(), kRo1);
+  store.remove_tx(kRo1);
+  std::vector<TxId> collected;
+  store.collect_access_sets(std::vector<Key>{1, 2}, collected);
+  EXPECT_TRUE(collected.empty());
+}
+
+TEST(MVStoreTest, RemoveOnlyTargetsTheGivenTx) {
+  MVStore store;
+  store.load(1, "a", kNodes);
+  store.read_read_only(1, zero(), no_mask(), kRo1);
+  store.read_read_only(1, zero(), no_mask(), kRo2);
+  store.remove_tx(kRo1);
+  std::vector<TxId> collected;
+  store.collect_access_sets(std::vector<Key>{1}, collected);
+  ASSERT_EQ(collected.size(), 1u);
+  EXPECT_EQ(collected[0], kRo2);
+}
+
+TEST(MVStoreTest, RemoveIsIdempotent) {
+  MVStore store;
+  store.load(1, "a", kNodes);
+  store.read_read_only(1, zero(), no_mask(), kRo1);
+  store.remove_tx(kRo1);
+  store.remove_tx(kRo1);  // second remove must be a no-op
+  EXPECT_EQ(store.access_set_footprint(), 0u);
+}
+
+TEST(MVStoreTest, InstallStampsCollectedSet) {
+  // Alg. 5 lines 17-20: the new version inherits the committing
+  // transaction's collected anti-dependencies.
+  MVStore store;
+  store.load(1, "a", kNodes);
+  VectorClock commit_vc(kNodes);
+  commit_vc[0] = 1;
+  std::vector<TxId> collected{kRo1, kRo2};
+  store.install(1, "b", commit_vc, 0, 1, collected);
+
+  std::vector<TxId> found;
+  store.collect_access_sets(std::vector<Key>{1}, found);
+  EXPECT_EQ(found.size(), 2u);
+  // And the stamped ids are removable through the reverse index.
+  store.remove_tx(kRo1);
+  store.remove_tx(kRo2);
+  EXPECT_EQ(store.access_set_footprint(), 0u);
+}
+
+TEST(MVStoreTest, LateStampingOfRemovedTxIsSuppressed) {
+  // A Remove raced ahead of a Decide that would re-stamp the id: the store
+  // must not resurrect the finished transaction's id.
+  MVStore store;
+  store.load(1, "a", kNodes);
+  store.read_read_only(1, zero(), no_mask(), kRo1);
+  store.remove_tx(kRo1);
+
+  VectorClock commit_vc(kNodes);
+  commit_vc[0] = 1;
+  store.install(1, "b", commit_vc, 0, 1, std::vector<TxId>{kRo1});
+  EXPECT_EQ(store.access_set_footprint(), 0u)
+      << "removed transaction's id leaked into a new version";
+}
+
+TEST(MVStoreTest, InstallCreatesMissingKey) {
+  // TPC-C inserts (orders, order lines) write keys that were never loaded.
+  MVStore store;
+  VectorClock commit_vc(kNodes);
+  commit_vc[1] = 4;
+  store.install(77, "row", commit_vc, 1, 4, {});
+  EXPECT_TRUE(store.contains(77));
+  auto r = store.read_read_only(77, zero(), no_mask(), kRo1);
+  EXPECT_EQ(r.value, "row");
+}
+
+TEST(MVStoreTest, ValidateKeyVersion) {
+  MVStore store;
+  store.load(1, "a", kNodes);  // version id 1
+  EXPECT_TRUE(store.validate_key_version(1, 1));
+  EXPECT_FALSE(store.validate_key_version(1, 0));
+  VectorClock commit_vc(kNodes);
+  commit_vc[0] = 1;
+  store.install(1, "b", commit_vc, 0, 1, {});
+  EXPECT_FALSE(store.validate_key_version(1, 1));
+  EXPECT_TRUE(store.validate_key_version(1, 2));
+  // Absent key: only "never observed" (0) validates.
+  EXPECT_TRUE(store.validate_key_version(99, 0));
+  EXPECT_FALSE(store.validate_key_version(99, 3));
+}
+
+TEST(MVStoreTest, ValidateKeyClockRule) {
+  MVStore store;
+  store.load(1, "a", kNodes);
+  VectorClock commit_vc(kNodes);
+  commit_vc[2] = 5;
+  store.install(1, "b", commit_vc, 2, 5, {});
+  VectorClock stale(kNodes);
+  stale[2] = 4;
+  EXPECT_FALSE(store.validate_key(1, stale));
+  VectorClock fresh(kNodes);
+  fresh[2] = 5;
+  EXPECT_TRUE(store.validate_key(1, fresh));
+  EXPECT_TRUE(store.validate_key(424242, stale)) << "absent key is valid";
+}
+
+TEST(MVStoreTest, FootprintCountsAllAccessSetEntries) {
+  MVStore store;
+  store.load(1, "a", kNodes);
+  store.load(2, "b", kNodes);
+  store.read_read_only(1, zero(), no_mask(), kRo1);
+  store.read_read_only(2, zero(), no_mask(), kRo1);
+  store.read_read_only(2, zero(), no_mask(), kRo2);
+  EXPECT_EQ(store.access_set_footprint(), 3u);
+}
+
+TEST(MVStoreTest, ConcurrentReadersAndRemovers) {
+  MVStore store;
+  for (Key k = 0; k < 16; ++k) store.load(k, "v", kNodes);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      std::uint32_t seq = 0;
+      while (!stop.load()) {
+        TxId me(static_cast<NodeId>(t), 1, ++seq);
+        for (Key k = 0; k < 16; ++k) {
+          store.read_read_only(k, zero(), no_mask(), me);
+        }
+        store.remove_tx(me);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  stop = true;
+  for (auto& t : threads) t.join();
+  // Every reader removed itself: the store must be clean again.
+  EXPECT_EQ(store.access_set_footprint(), 0u);
+}
+
+TEST(MVStoreTest, WithChainRunsUnderLatch) {
+  MVStore store;
+  store.load(5, "x", kNodes);
+  bool ran = false;
+  EXPECT_TRUE(store.with_chain(5, [&](VersionChain& chain) {
+    ran = true;
+    EXPECT_EQ(chain.latest().value, "x");
+  }));
+  EXPECT_TRUE(ran);
+  EXPECT_FALSE(store.with_chain(99, [](VersionChain&) {}));
+}
+
+TEST(SVStoreTest, BasicsAndValidation) {
+  SVStore store;
+  store.load(1, "a");
+  auto item = store.read(1);
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(item->value, "a");
+  EXPECT_EQ(item->version, 1u);
+  EXPECT_TRUE(store.validate(1, 1));
+  store.install(1, "b");
+  EXPECT_FALSE(store.validate(1, 1));
+  EXPECT_TRUE(store.validate(1, 2));
+  EXPECT_EQ(store.read(1)->value, "b");
+  EXPECT_FALSE(store.read(404).has_value());
+  EXPECT_TRUE(store.validate(404, 0));
+  EXPECT_EQ(store.key_count(), 1u);
+}
+
+TEST(SVStoreTest, InstallCreates) {
+  SVStore store;
+  store.install(7, "new");
+  EXPECT_EQ(store.read(7)->version, 1u);
+}
+
+}  // namespace
+}  // namespace fwkv::store

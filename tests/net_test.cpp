@@ -1,0 +1,321 @@
+// DelayQueue, Executor and SimNetwork behaviour.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/delay_queue.hpp"
+#include "net/executor.hpp"
+#include "net/network.hpp"
+
+namespace fwkv::net {
+namespace {
+
+using namespace std::chrono_literals;
+using Clock = std::chrono::steady_clock;
+
+TEST(DelayQueueTest, RunsTask) {
+  DelayQueue q;
+  std::atomic<bool> ran{false};
+  q.run_after(0ms, [&] { ran = true; });
+  for (int i = 0; i < 1000 && !ran; ++i) std::this_thread::sleep_for(1ms);
+  EXPECT_TRUE(ran);
+}
+
+TEST(DelayQueueTest, HonorsDelay) {
+  DelayQueue q;
+  std::atomic<bool> ran{false};
+  const auto t0 = Clock::now();
+  std::atomic<std::int64_t> elapsed_ms{0};
+  q.run_after(30ms, [&] {
+    elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     Clock::now() - t0)
+                     .count();
+    ran = true;
+  });
+  for (int i = 0; i < 2000 && !ran; ++i) std::this_thread::sleep_for(1ms);
+  ASSERT_TRUE(ran);
+  EXPECT_GE(elapsed_ms.load(), 28);
+}
+
+TEST(DelayQueueTest, OrdersByDeadlineThenSubmission) {
+  DelayQueue q;
+  std::mutex mu;
+  std::vector<int> order;
+  auto push = [&](int v) {
+    std::lock_guard<std::mutex> lock(mu);
+    order.push_back(v);
+  };
+  q.run_after(20ms, [&] { push(3); });
+  q.run_after(5ms, [&] { push(1); });
+  q.run_after(5ms, [&] { push(2); });  // same deadline: submission order
+  std::this_thread::sleep_for(100ms);
+  std::lock_guard<std::mutex> lock(mu);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(DelayQueueTest, PendingCount) {
+  DelayQueue q;
+  q.run_after(1h, [] {});
+  q.run_after(1h, [] {});
+  EXPECT_EQ(q.pending(), 2u);
+}
+
+TEST(DelayQueueTest, ShutdownDropsPending) {
+  std::atomic<bool> ran{false};
+  {
+    DelayQueue q;
+    q.run_after(1h, [&] { ran = true; });
+  }
+  EXPECT_FALSE(ran);
+}
+
+TEST(DelayQueueTest, SubmitAfterShutdownIsNoop) {
+  DelayQueue q;
+  q.shutdown();
+  q.run_after(0ms, [] { FAIL() << "ran after shutdown"; });
+  std::this_thread::sleep_for(10ms);
+}
+
+TEST(ExecutorTest, RunsSubmittedTasks) {
+  Executor ex(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    ex.submit([&] { count.fetch_add(1); });
+  }
+  for (int i = 0; i < 1000 && count < 100; ++i) std::this_thread::sleep_for(1ms);
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ExecutorTest, DrainsQueueOnShutdown) {
+  std::atomic<int> count{0};
+  {
+    Executor ex(1);
+    for (int i = 0; i < 50; ++i) {
+      ex.submit([&] {
+        std::this_thread::sleep_for(100us);
+        count.fetch_add(1);
+      });
+    }
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ExecutorTest, ParallelismAcrossWorkers) {
+  Executor ex(2);
+  std::atomic<int> concurrent{0};
+  std::atomic<int> peak{0};
+  std::atomic<int> done{0};
+  for (int i = 0; i < 20; ++i) {
+    ex.submit([&] {
+      int now = concurrent.fetch_add(1) + 1;
+      int p = peak.load();
+      while (now > p && !peak.compare_exchange_weak(p, now)) {
+      }
+      std::this_thread::sleep_for(2ms);
+      concurrent.fetch_sub(1);
+      done.fetch_add(1);
+    });
+  }
+  for (int i = 0; i < 2000 && done < 20; ++i) std::this_thread::sleep_for(1ms);
+  EXPECT_EQ(done.load(), 20);
+  EXPECT_GE(peak.load(), 2);
+}
+
+// A minimal endpoint that records what it receives and can echo replies.
+class RecordingEndpoint : public NodeEndpoint {
+ public:
+  explicit RecordingEndpoint(SimNetwork* net, NodeId id)
+      : net_(net), id_(id) {}
+
+  void handle_message(Message msg, NodeId from) override {
+    if (auto* rr = std::get_if<ReadRequest>(&msg)) {
+      ReadReturn ret;
+      ret.rpc_id = rr->rpc_id;
+      ret.found = true;
+      ret.value = "echo-" + std::to_string(rr->key);
+      net_->send(id_, rr->reply_to, std::move(ret));
+      return;
+    }
+    received_.fetch_add(1);
+    (void)from;
+  }
+  std::size_t pending_work() const override { return 0; }
+
+  std::atomic<int> received_{0};
+
+ private:
+  SimNetwork* net_;
+  NodeId id_;
+};
+
+NetConfig fast_net() {
+  NetConfig cfg;
+  cfg.one_way_latency = 0ns;
+  return cfg;
+}
+
+TEST(SimNetworkTest, DeliversOneWayMessages) {
+  SimNetwork net(2, fast_net());
+  RecordingEndpoint a(&net, 0);
+  RecordingEndpoint b(&net, 1);
+  net.register_endpoint(0, &a);
+  net.register_endpoint(1, &b);
+
+  net.send(0, 1, RemoveMessage{TxId(1, 1, 1), 5});
+  ASSERT_TRUE(net.wait_quiescent(1s));
+  EXPECT_EQ(b.received_.load(), 1);
+  EXPECT_EQ(a.received_.load(), 0);
+}
+
+TEST(SimNetworkTest, RpcRoundTrip) {
+  SimNetwork net(2, fast_net());
+  RecordingEndpoint a(&net, 0);
+  RecordingEndpoint b(&net, 1);
+  net.register_endpoint(0, &a);
+  net.register_endpoint(1, &b);
+
+  ReadRequest req;
+  req.tx.id = TxId(0, 0, 1);
+  req.key = 42;
+  auto call = net.send_request(0, 1, std::move(req));
+  auto reply = call.await(1s);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(std::get<ReadReturn>(*reply).value, "echo-42");
+}
+
+TEST(SimNetworkTest, RpcTimeoutReturnsNullopt) {
+  SimNetwork net(2, fast_net());
+  RecordingEndpoint a(&net, 0);
+  // Endpoint 1 swallows requests (no reply): wire a recording endpoint but
+  // send a Prepare, which it does not answer.
+  RecordingEndpoint b(&net, 1);
+  net.register_endpoint(0, &a);
+  net.register_endpoint(1, &b);
+
+  PrepareRequest req;
+  req.tx = TxId(0, 0, 1);
+  auto call = net.send_request(0, 1, std::move(req));
+  EXPECT_FALSE(call.await(20ms).has_value());
+}
+
+TEST(SimNetworkTest, LatencyIsApplied) {
+  NetConfig cfg;
+  cfg.one_way_latency = 20ms;
+  SimNetwork net(2, cfg);
+  RecordingEndpoint a(&net, 0);
+  RecordingEndpoint b(&net, 1);
+  net.register_endpoint(0, &a);
+  net.register_endpoint(1, &b);
+
+  const auto t0 = Clock::now();
+  ReadRequest req;
+  req.key = 1;
+  auto call = net.send_request(0, 1, std::move(req));
+  ASSERT_TRUE(call.await(5s).has_value());
+  const auto rtt = Clock::now() - t0;
+  EXPECT_GE(rtt, 38ms);  // two 20 ms hops, minus timer slack
+}
+
+TEST(SimNetworkTest, LoopbackSkipsLatency) {
+  NetConfig cfg;
+  cfg.one_way_latency = 50ms;
+  SimNetwork net(2, cfg);
+  RecordingEndpoint a(&net, 0);
+  net.register_endpoint(0, &a);
+
+  const auto t0 = Clock::now();
+  ReadRequest req;
+  req.key = 1;
+  auto call = net.send_request(0, 0, std::move(req));
+  ASSERT_TRUE(call.await(5s).has_value());
+  EXPECT_LT(Clock::now() - t0, 40ms);
+}
+
+TEST(SimNetworkTest, PropagateExtraDelay) {
+  NetConfig cfg;
+  cfg.one_way_latency = 0ns;
+  cfg.propagate_extra_delay = 30ms;
+  SimNetwork net(2, cfg);
+  RecordingEndpoint a(&net, 0);
+  RecordingEndpoint b(&net, 1);
+  net.register_endpoint(0, &a);
+  net.register_endpoint(1, &b);
+
+  net.send(0, 1, PropagateMessage{0, 1, 1});
+  std::this_thread::sleep_for(10ms);
+  EXPECT_EQ(b.received_.load(), 0) << "propagate arrived before its delay";
+  ASSERT_TRUE(net.wait_quiescent(5s));
+  EXPECT_EQ(b.received_.load(), 1);
+}
+
+TEST(SimNetworkTest, MessageCountersByType) {
+  SimNetwork net(2, fast_net());
+  RecordingEndpoint a(&net, 0);
+  RecordingEndpoint b(&net, 1);
+  net.register_endpoint(0, &a);
+  net.register_endpoint(1, &b);
+
+  net.send(0, 1, RemoveMessage{TxId(1, 1, 1), 1});
+  net.send(0, 1, RemoveMessage{TxId(1, 1, 2), 2});
+  net.send(0, 1, PropagateMessage{0, 1, 1});
+  ASSERT_TRUE(net.wait_quiescent(1s));
+  EXPECT_EQ(net.messages_sent(MessageType::kRemove), 2u);
+  EXPECT_EQ(net.messages_sent(MessageType::kPropagate), 1u);
+  EXPECT_EQ(net.messages_sent(MessageType::kReadRequest), 0u);
+}
+
+TEST(SimNetworkTest, SerializationModeCountsBytes) {
+  NetConfig cfg = fast_net();
+  cfg.serialize_messages = true;
+  SimNetwork net(2, cfg);
+  RecordingEndpoint a(&net, 0);
+  RecordingEndpoint b(&net, 1);
+  net.register_endpoint(0, &a);
+  net.register_endpoint(1, &b);
+
+  net.send(0, 1, RemoveMessage{TxId(1, 1, 1), 1});
+  ASSERT_TRUE(net.wait_quiescent(1s));
+  EXPECT_GT(net.bytes_sent(), 0u);
+  EXPECT_EQ(b.received_.load(), 1);
+}
+
+TEST(SimNetworkTest, SendHookObservesMessages) {
+  SimNetwork net(2, fast_net());
+  RecordingEndpoint a(&net, 0);
+  RecordingEndpoint b(&net, 1);
+  net.register_endpoint(0, &a);
+  net.register_endpoint(1, &b);
+
+  std::atomic<int> hooked{0};
+  net.set_send_hook([&](NodeId from, NodeId to, const Message& m) {
+    EXPECT_EQ(from, 0u);
+    EXPECT_EQ(to, 1u);
+    EXPECT_EQ(type_of(m), MessageType::kRemove);
+    hooked.fetch_add(1);
+  });
+  net.send(0, 1, RemoveMessage{TxId(1, 1, 1), 1});
+  ASSERT_TRUE(net.wait_quiescent(1s));
+  EXPECT_EQ(hooked.load(), 1);
+}
+
+TEST(SimNetworkTest, QuiescentWhenIdle) {
+  SimNetwork net(2, fast_net());
+  RecordingEndpoint a(&net, 0);
+  net.register_endpoint(0, &a);
+  EXPECT_TRUE(net.wait_quiescent(100ms));
+}
+
+TEST(SimNetworkTest, ScheduleRunsTask) {
+  SimNetwork net(1, fast_net());
+  std::atomic<bool> ran{false};
+  net.schedule(1ms, [&] { ran = true; });
+  for (int i = 0; i < 1000 && !ran; ++i) std::this_thread::sleep_for(1ms);
+  EXPECT_TRUE(ran);
+}
+
+}  // namespace
+}  // namespace fwkv::net

@@ -1,0 +1,415 @@
+// Cross-protocol behavioural tests: transaction semantics, abort reasons,
+// commit machinery, in-order application, propagation batching.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/cluster.hpp"
+#include "core/mv_node.hpp"
+#include "core/session.hpp"
+
+namespace fwkv {
+namespace {
+
+using namespace std::chrono_literals;
+
+ClusterConfig base_config(Protocol p, std::uint32_t nodes = 3) {
+  ClusterConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.protocol = p;
+  cfg.net.one_way_latency = std::chrono::microseconds(20);
+  cfg.net.serialize_messages = true;
+  return cfg;
+}
+
+Key key_on(const Cluster& cluster, NodeId node, Key start = 0) {
+  Key k = start;
+  while (cluster.node_for_key(k) != node) ++k;
+  return k;
+}
+
+class ProtocolTest : public ::testing::TestWithParam<Protocol> {};
+
+TEST_P(ProtocolTest, EmptyTransactionCommits) {
+  Cluster cluster(base_config(GetParam()));
+  Session s = cluster.make_session(0, 0);
+  auto tx = s.begin();
+  EXPECT_TRUE(s.commit(tx));
+  EXPECT_EQ(tx.status(), TxStatus::kCommitted);
+}
+
+TEST_P(ProtocolTest, WriteOnlyTransaction) {
+  Cluster cluster(base_config(GetParam()));
+  cluster.load(1, "old");
+  Session s = cluster.make_session(0, 0);
+  auto tx = s.begin();
+  s.write(tx, 1, "new");
+  ASSERT_TRUE(s.commit(tx));
+  ASSERT_TRUE(cluster.quiesce());
+  auto check = s.begin(true);
+  EXPECT_EQ(s.read(check, 1), "new");
+  s.commit(check);
+}
+
+TEST_P(ProtocolTest, RepeatableReadsWithinTransaction) {
+  Cluster cluster(base_config(GetParam()));
+  cluster.load(1, "v1");
+  Session reader = cluster.make_session(0, 0);
+  Session writer = cluster.make_session(1, 0);
+
+  auto tx = reader.begin(true);
+  EXPECT_EQ(reader.read(tx, 1), "v1");
+  auto wtx = writer.begin();
+  writer.write(wtx, 1, "v2");
+  ASSERT_TRUE(writer.commit(wtx));
+  ASSERT_TRUE(cluster.quiesce());
+  // The same transaction re-reads its own snapshot value.
+  EXPECT_EQ(reader.read(tx, 1), "v1");
+  if (GetParam() == Protocol::kTwoPC) {
+    // The serializable baseline validates reads at commit: the overwrite
+    // forces an abort (this is why its read-only transactions are costly).
+    EXPECT_FALSE(reader.commit(tx));
+  } else {
+    // PSI read-only transactions are abort-free.
+    EXPECT_TRUE(reader.commit(tx));
+  }
+}
+
+TEST_P(ProtocolTest, WriteWriteConflictAbortsExactlyOne) {
+  // Two transactions read-modify-write the same key concurrently: exactly
+  // one commits, under every protocol (PSI forbids lost updates).
+  Cluster cluster(base_config(GetParam()));
+  cluster.load(5, "0");
+  Session a = cluster.make_session(0, 0);
+  Session b = cluster.make_session(1, 0);
+
+  auto ta = a.begin();
+  auto tb = b.begin();
+  ASSERT_TRUE(a.read(ta, 5).has_value());
+  ASSERT_TRUE(b.read(tb, 5).has_value());
+  a.write(ta, 5, "from-a");
+  b.write(tb, 5, "from-b");
+  const bool a_ok = a.commit(ta);
+  ASSERT_TRUE(cluster.quiesce());
+  const bool b_ok = b.commit(tb);
+  EXPECT_TRUE(a_ok);
+  EXPECT_FALSE(b_ok) << "lost update: both conflicting writers committed";
+  EXPECT_EQ(tb.abort_reason(), AbortReason::kValidation);
+}
+
+TEST_P(ProtocolTest, AbortReleasesLocksForLaterTransactions) {
+  Cluster cluster(base_config(GetParam()));
+  cluster.load(5, "0");
+  Session a = cluster.make_session(0, 0);
+  Session b = cluster.make_session(1, 0);
+
+  // Make b abort on validation.
+  auto tb = b.begin();
+  ASSERT_TRUE(b.read(tb, 5).has_value());
+  auto ta = a.begin();
+  ASSERT_TRUE(a.read(ta, 5).has_value());
+  a.write(ta, 5, "x");
+  ASSERT_TRUE(a.commit(ta));
+  ASSERT_TRUE(cluster.quiesce());
+  b.write(tb, 5, "y");
+  ASSERT_FALSE(b.commit(tb));
+
+  // The key must be lockable again.
+  auto tc = a.begin();
+  ASSERT_TRUE(a.read(tc, 5).has_value());
+  a.write(tc, 5, "z");
+  EXPECT_TRUE(a.commit(tc));
+}
+
+TEST_P(ProtocolTest, MultiSiteCommitInstallsEverywhere) {
+  Cluster cluster(base_config(GetParam()));
+  const Key k0 = key_on(cluster, 0);
+  const Key k1 = key_on(cluster, 1);
+  const Key k2 = key_on(cluster, 2);
+  cluster.load(k0, "a0");
+  cluster.load(k1, "b0");
+  cluster.load(k2, "c0");
+
+  Session s = cluster.make_session(0, 0);
+  auto tx = s.begin();
+  s.write(tx, k0, "a1");
+  s.write(tx, k1, "b1");
+  s.write(tx, k2, "c1");
+  ASSERT_TRUE(s.commit(tx));
+  ASSERT_TRUE(cluster.quiesce());
+
+  auto check = s.begin(true);
+  EXPECT_EQ(s.read(check, k0), "a1");
+  EXPECT_EQ(s.read(check, k1), "b1");
+  EXPECT_EQ(s.read(check, k2), "c1");
+  s.commit(check);
+}
+
+TEST_P(ProtocolTest, UserAbortDiscardsWrites) {
+  Cluster cluster(base_config(GetParam()));
+  cluster.load(3, "keep");
+  Session s = cluster.make_session(0, 0);
+  auto tx = s.begin();
+  s.write(tx, 3, "discard");
+  s.abort(tx);
+  EXPECT_EQ(tx.status(), TxStatus::kAborted);
+  EXPECT_EQ(tx.abort_reason(), AbortReason::kUserAbort);
+  ASSERT_TRUE(cluster.quiesce());
+
+  auto check = s.begin(true);
+  EXPECT_EQ(s.read(check, 3), "keep");
+  s.commit(check);
+}
+
+TEST_P(ProtocolTest, StatsCountCommitsAndReads) {
+  Cluster cluster(base_config(GetParam()));
+  cluster.load(1, "x");
+  Session s = cluster.make_session(0, 0);
+  for (int i = 0; i < 5; ++i) {
+    auto tx = s.begin();
+    ASSERT_TRUE(s.read(tx, 1).has_value());
+    s.write(tx, 1, "v" + std::to_string(i));
+    ASSERT_TRUE(s.commit(tx));
+  }
+  for (int i = 0; i < 3; ++i) {
+    auto ro = s.begin(true);
+    ASSERT_TRUE(s.read(ro, 1).has_value());
+    ASSERT_TRUE(s.commit(ro));
+  }
+  ASSERT_TRUE(cluster.quiesce());
+  auto stats = cluster.aggregate_stats();
+  EXPECT_EQ(stats.update_commits, 5u);
+  EXPECT_EQ(stats.ro_commits, 3u);
+  EXPECT_EQ(stats.reads_served, 8u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, ProtocolTest,
+                         ::testing::Values(Protocol::kFwKv, Protocol::kWalter,
+                                           Protocol::kTwoPC),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Protocol::kFwKv:
+                               return "FwKv";
+                             case Protocol::kWalter:
+                               return "Walter";
+                             default:
+                               return "TwoPC";
+                           }
+                         });
+
+// ---- PSI-specific machinery ----
+
+class PsiProtocolTest : public ::testing::TestWithParam<Protocol> {};
+
+TEST_P(PsiProtocolTest, SiteVcAdvancesWithLocalCommits) {
+  Cluster cluster(base_config(GetParam()));
+  const Key k = key_on(cluster, 0);
+  cluster.load(k, "v");
+  Session s = cluster.make_session(0, 0);
+  for (int i = 0; i < 4; ++i) {
+    auto tx = s.begin();
+    s.write(tx, k, "v" + std::to_string(i));
+    ASSERT_TRUE(s.commit(tx));
+  }
+  ASSERT_TRUE(cluster.quiesce());
+  auto& node0 = dynamic_cast<MvNodeBase&>(cluster.node(0));
+  EXPECT_EQ(node0.curr_seq(), 4u);
+  EXPECT_EQ(node0.site_vc()[0], 4u);
+}
+
+TEST_P(PsiProtocolTest, PropagationCatchesUpRemoteSiteVcs) {
+  Cluster cluster(base_config(GetParam()));
+  const Key k = key_on(cluster, 0);
+  cluster.load(k, "v");
+  Session s = cluster.make_session(0, 0);
+  for (int i = 0; i < 3; ++i) {
+    auto tx = s.begin();
+    s.write(tx, k, "w" + std::to_string(i));
+    ASSERT_TRUE(s.commit(tx));
+  }
+  ASSERT_TRUE(cluster.quiesce());
+  for (NodeId n = 0; n < cluster.num_nodes(); ++n) {
+    auto& node = dynamic_cast<MvNodeBase&>(cluster.node(n));
+    EXPECT_EQ(node.site_vc()[0], 3u) << "node " << n << " missed propagation";
+  }
+}
+
+TEST_P(PsiProtocolTest, DelayedPropagationBuffersInOrderEvents) {
+  auto cfg = base_config(GetParam());
+  cfg.net.propagate_extra_delay = 100ms;
+  Cluster cluster(cfg);
+  const Key local = key_on(cluster, 0);
+  const Key remote = key_on(cluster, 1);
+  cluster.load(local, "l");
+  cluster.load(remote, "r");
+
+  Session s = cluster.make_session(0, 0);
+  // Commit 1: purely local at node 0 -> node 1 learns via (delayed)
+  // propagate. Commit 2: writes node 1's key -> its Decide reaches node 1
+  // quickly but must WAIT (buffer) for commit 1's propagate.
+  auto t1 = s.begin();
+  s.write(t1, local, "l1");
+  ASSERT_TRUE(s.commit(t1));
+  auto t2 = s.begin();
+  s.write(t2, remote, "r1");
+  ASSERT_TRUE(s.commit(t2));
+
+  std::this_thread::sleep_for(20ms);
+  // Before the propagate arrives, node 1 must not have applied seq 2.
+  auto& node1 = dynamic_cast<MvNodeBase&>(cluster.node(1));
+  EXPECT_LT(node1.site_vc()[0], 2u);
+  EXPECT_GE(node1.pending_work(), 1u) << "decide was not buffered";
+
+  ASSERT_TRUE(cluster.quiesce(5s));
+  EXPECT_EQ(node1.site_vc()[0], 2u);
+  EXPECT_EQ(node1.pending_work(), 0u);
+  Session s1 = cluster.make_session(1, 2);
+  auto ro = s1.begin(true);
+  EXPECT_EQ(s1.read(ro, remote), "r1");
+  s1.commit(ro);
+}
+
+TEST_P(PsiProtocolTest, ReadOnlyTransactionsNeverAbort) {
+  Cluster cluster(base_config(GetParam()));
+  for (Key k = 0; k < 50; ++k) cluster.load(k, "v");
+  std::atomic<bool> stop{false};
+  std::atomic<bool> ro_failed{false};
+  std::thread writer([&] {
+    Session w = cluster.make_session(0, 0);
+    int i = 0;
+    while (!stop) {
+      auto tx = w.begin();
+      w.write(tx, static_cast<Key>(i % 50), "w" + std::to_string(i));
+      w.commit(tx);
+      ++i;
+    }
+  });
+  std::thread reader([&] {
+    Session r = cluster.make_session(1, 0);
+    int i = 0;
+    while (!stop) {
+      auto tx = r.begin(true);
+      r.read(tx, static_cast<Key>(i % 50));
+      r.read(tx, static_cast<Key>((i + 7) % 50));
+      if (!r.commit(tx)) ro_failed = true;
+      ++i;
+    }
+  });
+  std::this_thread::sleep_for(200ms);
+  stop = true;
+  writer.join();
+  reader.join();
+  EXPECT_FALSE(ro_failed.load());
+  auto stats = cluster.aggregate_stats();
+  EXPECT_GT(stats.ro_commits, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(PsiProtocols, PsiProtocolTest,
+                         ::testing::Values(Protocol::kFwKv, Protocol::kWalter),
+                         [](const auto& info) {
+                           return info.param == Protocol::kFwKv ? "FwKv"
+                                                                : "Walter";
+                         });
+
+// ---- FW-KV specific ----
+
+TEST(FwKvTest, FreshFirstReadAcrossNodes) {
+  auto cfg = base_config(Protocol::kFwKv, 4);
+  cfg.net.propagate_extra_delay = 1s;  // keep remote siteVCs stale
+  Cluster cluster(cfg);
+  const Key a = key_on(cluster, 1);
+  const Key b = key_on(cluster, 2);
+  cluster.load(a, "a0");
+  cluster.load(b, "b0");
+
+  Session w1 = cluster.make_session(1, 0);
+  auto t1 = w1.begin();
+  w1.write(t1, a, "a1");
+  ASSERT_TRUE(w1.commit(t1));
+  Session w2 = cluster.make_session(2, 0);
+  auto t2 = w2.begin();
+  w2.write(t2, b, "b1");
+  ASSERT_TRUE(w2.commit(t2));
+  std::this_thread::sleep_for(20ms);
+
+  // A read-only transaction on node 3 reads both keys, each a first
+  // contact with a distinct node: both must be the latest versions even
+  // though node 3's siteVC knows nothing about the commits.
+  Session r = cluster.make_session(3, 0);
+  auto ro = r.begin(true);
+  EXPECT_EQ(r.read(ro, a), "a1");
+  EXPECT_EQ(r.read(ro, b), "b1");
+  EXPECT_TRUE(r.commit(ro));
+  EXPECT_EQ(ro.stale_reads(), 0u);
+}
+
+TEST(FwKvTest, CollectedSetReachesCoordinatorStats) {
+  Cluster cluster(base_config(Protocol::kFwKv));
+  const Key k = key_on(cluster, 1);
+  cluster.load(k, "v");
+
+  // A read-only transaction reads k and stays uncommitted, so its id is in
+  // k's access set when the update prepares.
+  Session ro_session = cluster.make_session(0, 0);
+  auto ro = ro_session.begin(true);
+  ASSERT_TRUE(ro_session.read(ro, k).has_value());
+
+  Session up = cluster.make_session(2, 0);
+  auto tx = up.begin();
+  ASSERT_TRUE(up.read(tx, k).has_value());
+  up.write(tx, k, "v2");
+  ASSERT_TRUE(up.commit(tx));
+  ASSERT_TRUE(cluster.quiesce());
+
+  auto stats = cluster.aggregate_stats();
+  EXPECT_EQ(stats.collected_count, 1u);
+  EXPECT_GE(stats.collected_sum, 1u) << "anti-dependency was not collected";
+  ro_session.commit(ro);
+}
+
+TEST(WalterTest, SnapshotFixedAtBegin) {
+  auto cfg = base_config(Protocol::kWalter, 3);
+  cfg.net.propagate_extra_delay = 1s;
+  Cluster cluster(cfg);
+  const Key k = key_on(cluster, 1);
+  cluster.load(k, "v0");
+
+  Session reader = cluster.make_session(0, 0);
+  auto ro = reader.begin(true);
+
+  Session writer = cluster.make_session(1, 0);
+  auto up = writer.begin();
+  writer.write(up, k, "v1");
+  ASSERT_TRUE(writer.commit(up));
+  std::this_thread::sleep_for(20ms);
+
+  // Walter: the reader's begin-time snapshot cannot include v1.
+  EXPECT_EQ(reader.read(ro, k), "v0");
+  reader.commit(ro);
+}
+
+TEST(TwoPcTest, ReadOnlyValidationAbortsOnConflict) {
+  // 2PC-baseline read-only transactions validate their reads; overwriting
+  // a read key before commit forces an abort — exactly the cost PSI's
+  // abort-free read-only transactions avoid.
+  Cluster cluster(base_config(Protocol::kTwoPC));
+  cluster.load(1, "v0");
+  Session reader = cluster.make_session(0, 0);
+  Session writer = cluster.make_session(1, 0);
+
+  auto ro = reader.begin(true);
+  ASSERT_TRUE(reader.read(ro, 1).has_value());
+
+  auto up = writer.begin();
+  ASSERT_TRUE(writer.read(up, 1).has_value());
+  writer.write(up, 1, "v1");
+  ASSERT_TRUE(writer.commit(up));
+  ASSERT_TRUE(cluster.quiesce());
+
+  EXPECT_FALSE(reader.commit(ro))
+      << "2PC read-only commit must fail validation after an overwrite";
+  EXPECT_EQ(ro.abort_reason(), AbortReason::kValidation);
+}
+
+}  // namespace
+}  // namespace fwkv

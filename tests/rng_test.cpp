@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace fwkv {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextRangeInclusive) {
+  Rng rng(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    auto v = rng.next_range(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    saw_lo |= v == 5;
+    saw_hi |= v == 8;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextRangeDegenerate) {
+  Rng rng(3);
+  EXPECT_EQ(rng.next_range(9, 9), 9u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, NextBoolProbability) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.next_bool(0.2);
+  EXPECT_NEAR(hits / 10000.0, 0.2, 0.02);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.next_bool(0.0));
+    EXPECT_TRUE(rng.next_bool(1.0));
+  }
+}
+
+TEST(RngTest, UniformCoverage) {
+  Rng rng(17);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) ++counts[rng.next_below(10)];
+  for (int c : counts) {
+    EXPECT_GT(c, 800);
+    EXPECT_LT(c, 1200);
+  }
+}
+
+TEST(RngTest, NurandStaysInRange) {
+  Rng rng(19);
+  for (int i = 0; i < 5000; ++i) {
+    auto v = rng.nurand(1023, 1, 3000);
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 3000u);
+  }
+}
+
+TEST(RngTest, NurandIsNonUniform) {
+  // NURand ORs two uniforms, biasing toward values with more set bits; the
+  // resulting distribution must differ measurably from uniform.
+  Rng rng(23);
+  std::vector<int> counts(8, 0);
+  const std::uint64_t span = 8192;
+  for (int i = 0; i < 40000; ++i) {
+    ++counts[rng.nurand(8191, 0, span - 1) * 8 / span];
+  }
+  const auto [min_it, max_it] = std::minmax_element(counts.begin(), counts.end());
+  EXPECT_GT(*max_it, *min_it * 3) << "distribution looks uniform";
+}
+
+TEST(RngTest, AStringLengthAndCharset) {
+  Rng rng(29);
+  for (int i = 0; i < 200; ++i) {
+    auto s = rng.next_astring(4, 12);
+    EXPECT_GE(s.size(), 4u);
+    EXPECT_LE(s.size(), 12u);
+    for (char c : s) EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(c)));
+  }
+}
+
+TEST(RngTest, NStringIsNumeric) {
+  Rng rng(31);
+  for (int i = 0; i < 200; ++i) {
+    auto s = rng.next_nstring(9, 9);
+    EXPECT_EQ(s.size(), 9u);
+    for (char c : s) EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(c)));
+  }
+}
+
+TEST(ZipfianTest, UniformWhenThetaZero) {
+  ZipfianGenerator zipf(100, 0.0);
+  Rng rng(37);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.next(rng)];
+  const auto [min_it, max_it] = std::minmax_element(counts.begin(), counts.end());
+  EXPECT_LT(*max_it, *min_it * 2);
+}
+
+TEST(ZipfianTest, SkewConcentratesOnHead) {
+  ZipfianGenerator zipf(10000, 0.99);
+  Rng rng(41);
+  int head = 0;
+  const int samples = 20000;
+  for (int i = 0; i < samples; ++i) {
+    if (zipf.next(rng) < 100) ++head;  // top 1% of keys
+  }
+  // YCSB's 0.99-zipfian puts well over a third of accesses on the top 1%.
+  EXPECT_GT(head, samples / 3);
+}
+
+TEST(ZipfianTest, StaysInRange) {
+  ZipfianGenerator zipf(50, 0.8);
+  Rng rng(43);
+  for (int i = 0; i < 5000; ++i) EXPECT_LT(zipf.next(rng), 50u);
+}
+
+TEST(ZipfianTest, SingleElementDomain) {
+  ZipfianGenerator zipf(1, 0.99);
+  Rng rng(47);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf.next(rng), 0u);
+}
+
+}  // namespace
+}  // namespace fwkv

@@ -1,0 +1,212 @@
+// Scripted reproductions of the paper's protocol figures (Figs. 1-4) at
+// cluster level, with delayed propagation to force the interleavings.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/cluster.hpp"
+#include "core/mv_node.hpp"
+#include "core/session.hpp"
+
+namespace fwkv {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// A 4-node cluster whose Propagate messages are delayed long enough that
+/// the test fully controls when remote nodes learn about commits.
+ClusterConfig delayed_cluster(Protocol p) {
+  ClusterConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.protocol = p;
+  cfg.net.one_way_latency = std::chrono::microseconds(50);
+  cfg.net.propagate_extra_delay = std::chrono::seconds(2);
+  cfg.net.serialize_messages = true;
+  return cfg;
+}
+
+/// First key whose preferred node is `node`.
+Key key_on(const Cluster& cluster, NodeId node, Key start = 0) {
+  Key k = start;
+  while (cluster.node_for_key(k) != node) ++k;
+  return k;
+}
+
+// --- Figure 4: FW-KV commits an update that Walter must abort -----------
+
+class Figure4Test : public ::testing::Test {
+ protected:
+  /// x lives on node 1; a local client updates it; then a client on node 0
+  /// (whose siteVC has NOT received the propagate) reads x and writes it.
+  /// FW-KV reads the latest x1 and passes validation; Walter reads the
+  /// stale x0 and fails validation.
+  bool remote_update_commits(Protocol protocol) {
+    Cluster cluster(delayed_cluster(protocol));
+    const Key x = key_on(cluster, 1);
+    cluster.load(x, "x0");
+
+    Session local = cluster.make_session(1, 0);
+    Transaction t_local = local.begin();
+    local.write(t_local, x, "x1");
+    EXPECT_TRUE(local.commit(t_local));
+    std::this_thread::sleep_for(20ms);  // decide applies at node 1
+
+    Session remote = cluster.make_session(0, 0);
+    Transaction t1 = remote.begin();
+    auto read = remote.read(t1, x);
+    EXPECT_TRUE(read.has_value());
+    if (protocol == Protocol::kFwKv) {
+      EXPECT_EQ(*read, "x1") << "FW-KV first read must see the latest";
+    } else {
+      EXPECT_EQ(*read, "x0") << "Walter's begin snapshot cannot see x1";
+    }
+    remote.write(t1, x, "x2");
+    return remote.commit(t1);
+  }
+};
+
+TEST_F(Figure4Test, FwKvCommitsOnFreshFirstRead) {
+  EXPECT_TRUE(remote_update_commits(Protocol::kFwKv));
+}
+
+TEST_F(Figure4Test, WalterAbortsOnStaleSnapshot) {
+  EXPECT_FALSE(remote_update_commits(Protocol::kWalter));
+}
+
+// --- Figure 2: a read-only transaction advances its snapshot safely -----
+
+TEST(Figure2Test, ReadOnlySkipsAntiDependentVersion) {
+  // T1 (RO, node 0) reads x on node 1; then T3 — coordinated from node 2,
+  // as in Fig. 2 — overwrites x and y in one transaction. y1's commit
+  // clock does not constrain T1's mask (T3's origin is a site T1 never
+  // read from), so ONLY the version-access-set exclusion can force T1's
+  // later read of y to return y0.
+  Cluster cluster(delayed_cluster(Protocol::kFwKv));
+  const Key x = key_on(cluster, 1);
+  const Key y = key_on(cluster, 1, x + 1);
+  cluster.load(x, "x0");
+  cluster.load(y, "y0");
+
+  Session t1_session = cluster.make_session(0, 0);
+  Transaction t1 = t1_session.begin(/*read_only=*/true);
+  EXPECT_EQ(t1_session.read(t1, x), "x0");
+
+  Session t3_session = cluster.make_session(2, 0);
+  Transaction t3 = t3_session.begin();
+  t3_session.write(t3, x, "x1");
+  t3_session.write(t3, y, "y1");
+  ASSERT_TRUE(t3_session.commit(t3));
+  std::this_thread::sleep_for(20ms);
+
+  // y1 is the latest version on a node T1 has already read from -- but T1's
+  // id sits in y1's access set (transitively via T3's collectedSet), so the
+  // anti-dependency forces y0.
+  EXPECT_EQ(t1_session.read(t1, y), "y0");
+  EXPECT_TRUE(t1_session.commit(t1));
+
+  // A fresh read-only transaction sees the new versions.
+  Transaction t4 = t1_session.begin(true);
+  EXPECT_EQ(t1_session.read(t4, x), "x1");
+  EXPECT_EQ(t1_session.read(t4, y), "y1");
+  t1_session.commit(t4);
+}
+
+TEST(Figure2Test, RemoveCleansAccessSetsAfterCommit) {
+  Cluster cluster(delayed_cluster(Protocol::kFwKv));
+  const Key x = key_on(cluster, 1);
+  cluster.load(x, "x0");
+
+  Session session = cluster.make_session(0, 0);
+  Transaction ro = session.begin(true);
+  EXPECT_EQ(session.read(ro, x), "x0");
+  EXPECT_TRUE(session.commit(ro));
+  ASSERT_TRUE(cluster.quiesce());
+
+  auto& node1 = dynamic_cast<MvNodeBase&>(cluster.node(1));
+  EXPECT_EQ(node1.mv_store().access_set_footprint(), 0u)
+      << "Remove did not clean the read-only transaction's traces";
+}
+
+// --- Figure 3: update transactions fix a safe snapshot ------------------
+
+TEST(Figure3Test, UpdateSecondReadUsesSafeSnapshot) {
+  // Same interleaving as Figure 2 but T1 is an update transaction: after
+  // its first read fixed the snapshot at node 1, the conservative rule
+  // must exclude y1 (equal on the read site, ahead on T3's origin).
+  Cluster cluster(delayed_cluster(Protocol::kFwKv));
+  const Key x = key_on(cluster, 1);
+  const Key y = key_on(cluster, 1, x + 1);
+  const Key z = key_on(cluster, 0);
+  cluster.load(x, "x0");
+  cluster.load(y, "y0");
+  cluster.load(z, "z0");
+
+  Session t1_session = cluster.make_session(0, 0);
+  Transaction t1 = t1_session.begin();
+  EXPECT_EQ(t1_session.read(t1, x), "x0");
+
+  Session t3_session = cluster.make_session(2, 0);
+  Transaction t3 = t3_session.begin();
+  t3_session.write(t3, x, "x1");
+  t3_session.write(t3, y, "y1");
+  ASSERT_TRUE(t3_session.commit(t3));
+  std::this_thread::sleep_for(20ms);
+
+  EXPECT_EQ(t1_session.read(t1, y), "y0")
+      << "update transaction read past its safe snapshot";
+  t1_session.write(t1, z, "z1");
+  EXPECT_TRUE(t1_session.commit(t1));
+}
+
+// --- Figure 1: client-visible long fork ---------------------------------
+
+TEST(Figure1Test, FwKvReadsBothSettledUpdates) {
+  // T2 on node 1 writes x; T3 on node 2 writes y; both commits complete
+  // before the read-only transactions begin, but the Propagates are still
+  // in flight (2 s delay). FW-KV readers on nodes 0 and 3 must see BOTH
+  // updates (fresh first contact per node) — the Fig. 1 divergence cannot
+  // happen. Walter readers see neither (their begin snapshots are stale).
+  for (Protocol protocol : {Protocol::kFwKv, Protocol::kWalter}) {
+    Cluster cluster(delayed_cluster(protocol));
+    const Key x = key_on(cluster, 1);
+    const Key y = key_on(cluster, 2);
+    cluster.load(x, "x0");
+    cluster.load(y, "y0");
+
+    Session t2 = cluster.make_session(1, 0);
+    Transaction tx2 = t2.begin();
+    t2.write(tx2, x, "x1");
+    ASSERT_TRUE(t2.commit(tx2));
+    Session t3 = cluster.make_session(2, 0);
+    Transaction tx3 = t3.begin();
+    t3.write(tx3, y, "y1");
+    ASSERT_TRUE(t3.commit(tx3));
+    std::this_thread::sleep_for(20ms);
+
+    Session t1 = cluster.make_session(0, 0);
+    Transaction ro1 = t1.begin(true);
+    auto x_seen_1 = t1.read(ro1, x).value();
+    auto y_seen_1 = t1.read(ro1, y).value();
+    t1.commit(ro1);
+
+    Session t4 = cluster.make_session(3, 0);
+    Transaction ro4 = t4.begin(true);
+    auto y_seen_4 = t4.read(ro4, y).value();
+    auto x_seen_4 = t4.read(ro4, x).value();
+    t4.commit(ro4);
+
+    if (protocol == Protocol::kFwKv) {
+      EXPECT_EQ(x_seen_1, "x1");
+      EXPECT_EQ(y_seen_1, "y1");
+      EXPECT_EQ(x_seen_4, "x1");
+      EXPECT_EQ(y_seen_4, "y1");
+    } else {
+      // Walter: both readers are stuck at their begin snapshots.
+      EXPECT_EQ(x_seen_1, "x0");
+      EXPECT_EQ(y_seen_1, "y0");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fwkv

@@ -1,0 +1,79 @@
+// End-to-end smoke tests: every protocol boots a small cluster, commits
+// transactions, and reads its own writes back.
+#include <gtest/gtest.h>
+
+#include "core/cluster.hpp"
+#include "core/session.hpp"
+#include "runtime/driver.hpp"
+#include "workload/ycsb.hpp"
+
+namespace fwkv {
+namespace {
+
+ClusterConfig small_cluster(Protocol p) {
+  ClusterConfig cfg;
+  cfg.num_nodes = 3;
+  cfg.protocol = p;
+  cfg.net.one_way_latency = std::chrono::microseconds(5);
+  cfg.net.serialize_messages = true;  // exercise the codec in tests
+  return cfg;
+}
+
+class SmokeTest : public ::testing::TestWithParam<Protocol> {};
+
+TEST_P(SmokeTest, WriteThenReadBack) {
+  Cluster cluster(small_cluster(GetParam()));
+  for (Key k = 0; k < 100; ++k) cluster.load(k, "init");
+
+  Session s = cluster.make_session(0, 0);
+  auto tx = s.begin();
+  EXPECT_EQ(s.read(tx, 7), "init");
+  s.write(tx, 7, "updated");
+  EXPECT_EQ(s.read(tx, 7), "updated") << "read-your-writes";
+  ASSERT_TRUE(s.commit(tx));
+  ASSERT_TRUE(cluster.quiesce());
+
+  auto tx2 = s.begin(/*read_only=*/true);
+  EXPECT_EQ(s.read(tx2, 7), "updated");
+  EXPECT_TRUE(s.commit(tx2));
+}
+
+TEST_P(SmokeTest, MissingKeyReturnsNullopt) {
+  Cluster cluster(small_cluster(GetParam()));
+  cluster.load(1, "x");
+  Session s = cluster.make_session(1, 0);
+  auto tx = s.begin(true);
+  EXPECT_FALSE(s.read(tx, 999).has_value());
+  EXPECT_TRUE(s.commit(tx));
+}
+
+TEST_P(SmokeTest, YcsbDriverRuns) {
+  Cluster cluster(small_cluster(GetParam()));
+  ycsb::YcsbConfig ycfg;
+  ycfg.total_keys = 2000;
+  ycfg.read_only_ratio = 0.5;
+  ycsb::YcsbWorkload workload(ycfg);
+  workload.load(cluster);
+
+  runtime::DriverConfig dcfg;
+  dcfg.clients_per_node = 2;
+  dcfg.warmup = std::chrono::milliseconds(50);
+  dcfg.measure = std::chrono::milliseconds(200);
+  auto result = runtime::run_driver(cluster, workload, dcfg);
+  EXPECT_GT(result.clients.commits(), 0u);
+  EXPECT_GT(result.throughput_tps(), 0.0);
+  ASSERT_TRUE(cluster.quiesce());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, SmokeTest,
+                         ::testing::Values(Protocol::kFwKv, Protocol::kWalter,
+                                           Protocol::kTwoPC),
+                         [](const auto& info) {
+                           return std::string(protocol_name(info.param)) ==
+                                          "FW-KV"
+                                      ? "FwKv"
+                                      : protocol_name(info.param);
+                         });
+
+}  // namespace
+}  // namespace fwkv

@@ -1,0 +1,88 @@
+// TPC-C end-to-end smoke: loads a small cluster and runs the mixed
+// workload under every protocol.
+#include <gtest/gtest.h>
+
+#include "core/cluster.hpp"
+#include "core/session.hpp"
+#include "runtime/driver.hpp"
+#include "workload/tpcc.hpp"
+
+namespace fwkv {
+namespace {
+
+class TpccSmokeTest : public ::testing::TestWithParam<Protocol> {};
+
+TEST_P(TpccSmokeTest, MixedWorkloadRuns) {
+  ClusterConfig cfg;
+  cfg.num_nodes = 3;
+  cfg.protocol = GetParam();
+  cfg.net.one_way_latency = std::chrono::microseconds(5);
+  cfg.mapper = tpcc::TpccWorkload::make_mapper(cfg.num_nodes);
+  Cluster cluster(cfg);
+
+  tpcc::TpccConfig tcfg;
+  tcfg.warehouses_per_node = 2;
+  tcfg.customers_per_district = 20;
+  tcfg.items = 200;
+  tcfg.read_only_ratio = 0.5;
+  tpcc::TpccWorkload workload(tcfg, cfg.num_nodes);
+  workload.load(cluster);
+
+  runtime::DriverConfig dcfg;
+  dcfg.clients_per_node = 2;
+  dcfg.warmup = std::chrono::milliseconds(50);
+  dcfg.measure = std::chrono::milliseconds(300);
+  auto result = runtime::run_driver(cluster, workload, dcfg);
+
+  EXPECT_GT(result.clients.commits(), 0u);
+  EXPECT_GT(result.clients.ro_commits, 0u);
+  EXPECT_GT(result.clients.update_commits, 0u);
+  ASSERT_TRUE(cluster.quiesce());
+}
+
+TEST_P(TpccSmokeTest, IndividualProfilesCommit) {
+  ClusterConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.protocol = GetParam();
+  cfg.net.one_way_latency = std::chrono::microseconds(2);
+  cfg.mapper = tpcc::TpccWorkload::make_mapper(cfg.num_nodes);
+  Cluster cluster(cfg);
+
+  tpcc::TpccConfig tcfg;
+  tcfg.warehouses_per_node = 1;
+  tcfg.customers_per_district = 10;
+  tcfg.items = 100;
+  tpcc::TpccWorkload workload(tcfg, cfg.num_nodes);
+  workload.load(cluster);
+
+  Session s = cluster.make_session(0, 0);
+  Rng rng(42);
+  runtime::ClientStats stats;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(workload.run_new_order(s, rng, stats)) << "NewOrder " << i;
+    EXPECT_TRUE(workload.run_payment(s, rng, stats)) << "Payment " << i;
+    EXPECT_TRUE(workload.run_delivery(s, rng, stats)) << "Delivery " << i;
+    EXPECT_TRUE(workload.run_order_status(s, rng, stats)) << "OrderStatus " << i;
+    EXPECT_TRUE(workload.run_stock_level(s, rng, stats)) << "StockLevel " << i;
+  }
+  EXPECT_EQ(stats.ro_commits, 20u);
+  EXPECT_EQ(stats.update_commits, 30u);
+  ASSERT_TRUE(cluster.quiesce());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, TpccSmokeTest,
+                         ::testing::Values(Protocol::kFwKv, Protocol::kWalter,
+                                           Protocol::kTwoPC),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Protocol::kFwKv:
+                               return "FwKv";
+                             case Protocol::kWalter:
+                               return "Walter";
+                             default:
+                               return "TwoPC";
+                           }
+                         });
+
+}  // namespace
+}  // namespace fwkv

@@ -1,0 +1,371 @@
+// TPC-C schema, loader, key placement and transaction-profile semantics.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <random>
+
+#include "workload/tpcc.hpp"
+
+namespace fwkv::tpcc {
+namespace {
+
+// ---- key encoding ----
+
+TEST(TpccKeyTest, FieldsRoundTrip) {
+  const Key k = make_key(Table::kOrderLine, 123, 9, 456789, 15);
+  EXPECT_EQ(table_of(k), Table::kOrderLine);
+  EXPECT_EQ(warehouse_of(k), 123u);
+  EXPECT_EQ(district_of(k), 9u);
+  EXPECT_EQ(entity_of(k), 456789u);
+  EXPECT_EQ(sub_of(k), 15u);
+}
+
+TEST(TpccKeyTest, DistinctTablesNeverCollide) {
+  const Key a = customer_key(1, 2, 3);
+  const Key b = stock_key(1, 2);
+  const Key c = order_key(1, 2, 3);
+  const Key d = district_key(1, 2);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(b, c);
+  EXPECT_NE(c, d);
+}
+
+class TpccKeySweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TpccKeySweepTest, EncodingIsInjectiveOverRandomTuples) {
+  std::mt19937_64 rng(GetParam() * 7 + 1);
+  for (int i = 0; i < 500; ++i) {
+    const auto t = static_cast<Table>(1 + rng() % 10);
+    const auto w = static_cast<std::uint32_t>(rng() % (1 << 14));
+    const auto d = static_cast<std::uint32_t>(rng() % (1 << 6));
+    const auto a = static_cast<std::uint32_t>(rng() % (1 << 22));
+    const auto b = static_cast<std::uint32_t>(rng() % (1 << 16));
+    const Key k = make_key(t, w, d, a, b);
+    EXPECT_EQ(table_of(k), t);
+    EXPECT_EQ(warehouse_of(k), w);
+    EXPECT_EQ(district_of(k), d);
+    EXPECT_EQ(entity_of(k), a);
+    EXPECT_EQ(sub_of(k), b);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TpccKeySweepTest, ::testing::Range(0, 3));
+
+// ---- row codecs ----
+
+TEST(TpccRowTest, WarehouseRoundTrip) {
+  WarehouseRow row;
+  row.name = "Acme";
+  row.street = "1 Main St";
+  row.city = "Bethlehem";
+  row.state = "PA";
+  row.zip = "180150000";
+  row.tax_bp = 725;
+  row.ytd_cents = 30'000'000;
+  auto decoded = WarehouseRow::decode(row.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->name, "Acme");
+  EXPECT_EQ(decoded->tax_bp, 725u);
+  EXPECT_EQ(decoded->ytd_cents, 30'000'000);
+}
+
+TEST(TpccRowTest, DistrictRoundTrip) {
+  DistrictRow row;
+  row.name = "D1";
+  row.tax_bp = 100;
+  row.ytd_cents = -50;  // negative money must survive
+  row.next_o_id = 3001;
+  row.next_delivery_o_id = 2101;
+  auto decoded = DistrictRow::decode(row.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->ytd_cents, -50);
+  EXPECT_EQ(decoded->next_o_id, 3001u);
+  EXPECT_EQ(decoded->next_delivery_o_id, 2101u);
+}
+
+TEST(TpccRowTest, CustomerRoundTrip) {
+  CustomerRow row;
+  row.first = "Jane";
+  row.last = "BARBARBAR";
+  row.credit = "GC";
+  row.discount_bp = 1234;
+  row.credit_lim_cents = 5'000'000;
+  row.balance_cents = -1000;
+  row.ytd_payment_cents = 999;
+  row.payment_cnt = 3;
+  row.delivery_cnt = 1;
+  auto decoded = CustomerRow::decode(row.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->balance_cents, -1000);
+  EXPECT_EQ(decoded->payment_cnt, 3u);
+}
+
+TEST(TpccRowTest, OrderAndLinesRoundTrip) {
+  OrderRow order;
+  order.c_id = 42;
+  order.entry_d = 0xDEADBEEF;
+  order.carrier_id = 7;
+  order.ol_cnt = 11;
+  order.all_local = false;
+  auto decoded = OrderRow::decode(order.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->ol_cnt, 11u);
+  EXPECT_FALSE(decoded->all_local);
+
+  OrderLineRow ol;
+  ol.i_id = 9;
+  ol.supply_w_id = 3;
+  ol.delivery_d = 123;
+  ol.quantity = 5;
+  ol.amount_cents = 4599;
+  ol.dist_info = std::string(24, 'x');
+  auto dol = OrderLineRow::decode(ol.encode());
+  ASSERT_TRUE(dol.has_value());
+  EXPECT_EQ(dol->amount_cents, 4599);
+  EXPECT_EQ(dol->dist_info.size(), 24u);
+}
+
+TEST(TpccRowTest, RemainingRowsRoundTrip) {
+  ItemRow item;
+  item.name = "widget";
+  item.price_cents = 999;
+  item.data = "ORIGINAL";
+  EXPECT_EQ(ItemRow::decode(item.encode())->price_cents, 999);
+
+  StockRow stock;
+  stock.quantity = -3;  // can go negative before restock
+  stock.ytd = 55;
+  stock.order_cnt = 6;
+  stock.remote_cnt = 2;
+  auto ds = StockRow::decode(stock.encode());
+  ASSERT_TRUE(ds.has_value());
+  EXPECT_EQ(ds->quantity, -3);
+  EXPECT_EQ(ds->remote_cnt, 2u);
+
+  EXPECT_TRUE(NewOrderRow::decode(NewOrderRow{false}.encode()).has_value());
+  EXPECT_FALSE(NewOrderRow::decode(NewOrderRow{false}.encode())->pending);
+
+  HistoryRow hist;
+  hist.c_id = 1;
+  hist.amount_cents = 100;
+  hist.data = "w d";
+  EXPECT_EQ(HistoryRow::decode(hist.encode())->amount_cents, 100);
+
+  EXPECT_EQ(CustomerLastOrderRow::decode(
+                CustomerLastOrderRow{77}.encode())->o_id,
+            77u);
+}
+
+TEST(TpccRowTest, GarbageRejected) {
+  EXPECT_FALSE(WarehouseRow::decode("").has_value());
+  EXPECT_FALSE(DistrictRow::decode("xx").has_value());
+  EXPECT_FALSE(OrderRow::decode("y").has_value());
+}
+
+// ---- placement ----
+
+TEST(TpccMapperTest, WarehouseRowsShareAHomeNode) {
+  TpccKeyMapper mapper(4);
+  for (std::uint32_t w = 0; w < 16; ++w) {
+    const NodeId home = mapper.node_for(warehouse_key(w));
+    EXPECT_EQ(home, w % 4);
+    EXPECT_EQ(mapper.node_for(district_key(w, 3)), home);
+    EXPECT_EQ(mapper.node_for(customer_key(w, 3, 42)), home);
+    EXPECT_EQ(mapper.node_for(stock_key(w, 17)), home);
+    EXPECT_EQ(mapper.node_for(order_key(w, 3, 9)), home);
+    EXPECT_EQ(mapper.node_for(order_line_key(w, 3, 9, 1)), home);
+  }
+}
+
+TEST(TpccMapperTest, ItemsSpreadAcrossNodes) {
+  TpccKeyMapper mapper(4);
+  std::vector<bool> hit(4, false);
+  for (std::uint32_t i = 1; i <= 200; ++i) {
+    hit[mapper.node_for(item_key(i))] = true;
+  }
+  for (bool h : hit) EXPECT_TRUE(h);
+}
+
+// ---- loader + profiles ----
+
+class TpccFixture : public ::testing::Test {
+ protected:
+  static constexpr std::uint32_t kNodes = 2;
+
+  TpccFixture() {
+    ClusterConfig cfg;
+    cfg.num_nodes = kNodes;
+    cfg.net.one_way_latency = std::chrono::microseconds(5);
+    cfg.mapper = TpccWorkload::make_mapper(kNodes);
+    cluster_ = std::make_unique<Cluster>(cfg);
+
+    TpccConfig tcfg;
+    tcfg.warehouses_per_node = 1;
+    tcfg.customers_per_district = 10;
+    tcfg.items = 50;
+    tcfg.initial_orders_per_district = 2;
+    workload_ = std::make_unique<TpccWorkload>(tcfg, kNodes);
+    workload_->load(*cluster_);
+  }
+
+  template <typename Row>
+  Row fetch(Key key) {
+    Session s = cluster_->make_session(0, 90);
+    auto tx = s.begin(true);
+    auto raw = s.read(tx, key);
+    s.commit(tx);
+    EXPECT_TRUE(raw.has_value()) << "missing key";
+    auto row = Row::decode(raw.value_or(""));
+    EXPECT_TRUE(row.has_value()) << "row did not parse";
+    return row.value_or(Row{});
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<TpccWorkload> workload_;
+};
+
+TEST_F(TpccFixture, LoaderPopulatesSchema) {
+  EXPECT_EQ(workload_->total_warehouses(), 2u);
+  auto wh = fetch<WarehouseRow>(warehouse_key(0));
+  EXPECT_FALSE(wh.name.empty());
+  auto dist = fetch<DistrictRow>(district_key(0, 1));
+  EXPECT_EQ(dist.next_o_id, 3u);  // 2 initial orders
+  auto cust = fetch<CustomerRow>(customer_key(1, 10, 10));
+  EXPECT_EQ(cust.balance_cents, -1000);
+  auto item = fetch<ItemRow>(item_key(50));
+  EXPECT_GT(item.price_cents, 0);
+  auto stock = fetch<StockRow>(stock_key(1, 50));
+  EXPECT_GE(stock.quantity, 10);
+}
+
+TEST_F(TpccFixture, NewOrderAdvancesDistrictSequenceAndWritesRows) {
+  Session s = cluster_->make_session(0, 0);
+  Rng rng(1);
+  runtime::ClientStats stats;
+  const auto before = fetch<DistrictRow>(district_key(0, 1));
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(workload_->run_new_order(s, rng, stats));
+  }
+  EXPECT_EQ(stats.update_commits, 20u);
+  ASSERT_TRUE(cluster_->quiesce());
+  // Orders spread across warehouses/districts; total next_o_id advance
+  // equals the number of NewOrders.
+  std::uint32_t advance = 0;
+  for (std::uint32_t w = 0; w < 2; ++w) {
+    for (std::uint32_t d = 1; d <= 10; ++d) {
+      advance += fetch<DistrictRow>(district_key(w, d)).next_o_id;
+    }
+  }
+  const std::uint32_t baseline = 2 * 10 * before.next_o_id;
+  EXPECT_EQ(advance, baseline + 20);
+}
+
+TEST_F(TpccFixture, NewOrderRowsAreConsistent) {
+  Session s = cluster_->make_session(0, 0);
+  Rng rng(2);
+  runtime::ClientStats stats;
+  ASSERT_TRUE(workload_->run_new_order(s, rng, stats));
+  ASSERT_TRUE(cluster_->quiesce());
+
+  // Find the district whose sequence advanced and check its newest order.
+  for (std::uint32_t w = 0; w < 2; ++w) {
+    for (std::uint32_t d = 1; d <= 10; ++d) {
+      auto dist = fetch<DistrictRow>(district_key(w, d));
+      if (dist.next_o_id == 4) {  // 3 initial + the new one... see loader
+        const std::uint32_t o = dist.next_o_id - 1;
+        auto order = fetch<OrderRow>(order_key(w, d, o));
+        EXPECT_GE(order.ol_cnt, 5u);
+        EXPECT_LE(order.ol_cnt, 15u);
+        for (std::uint32_t l = 1; l <= order.ol_cnt; ++l) {
+          auto ol = fetch<OrderLineRow>(order_line_key(w, d, o, l));
+          EXPECT_GT(ol.i_id, 0u);
+          EXPECT_GT(ol.amount_cents, 0);
+        }
+        auto last = fetch<CustomerLastOrderRow>(
+            customer_last_order_key(w, d, order.c_id));
+        EXPECT_EQ(last.o_id, o);
+        return;
+      }
+    }
+  }
+  FAIL() << "no district advanced";
+}
+
+TEST_F(TpccFixture, PaymentMovesMoney) {
+  Session s = cluster_->make_session(0, 0);
+  Rng rng(3);
+  runtime::ClientStats stats;
+  std::int64_t wh_before = 0;
+  for (std::uint32_t w = 0; w < 2; ++w) {
+    wh_before += fetch<WarehouseRow>(warehouse_key(w)).ytd_cents;
+  }
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(workload_->run_payment(s, rng, stats));
+  }
+  ASSERT_TRUE(cluster_->quiesce());
+  std::int64_t wh_after = 0;
+  for (std::uint32_t w = 0; w < 2; ++w) {
+    wh_after += fetch<WarehouseRow>(warehouse_key(w)).ytd_cents;
+  }
+  EXPECT_GT(wh_after, wh_before) << "payments did not raise warehouse YTD";
+}
+
+TEST_F(TpccFixture, DeliveryDeliversOldestUndeliveredOrder) {
+  Session s = cluster_->make_session(0, 0);
+  Rng rng(4);
+  runtime::ClientStats stats;
+  // Deliver many times; district delivery pointers must never pass the
+  // order sequence.
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(workload_->run_delivery(s, rng, stats));
+  }
+  ASSERT_TRUE(cluster_->quiesce());
+  for (std::uint32_t w = 0; w < 2; ++w) {
+    for (std::uint32_t d = 1; d <= 10; ++d) {
+      auto dist = fetch<DistrictRow>(district_key(w, d));
+      EXPECT_LE(dist.next_delivery_o_id, dist.next_o_id);
+      // Every order below the pointer is delivered (carrier set).
+      for (std::uint32_t o = 1; o < dist.next_delivery_o_id; ++o) {
+        auto order = fetch<OrderRow>(order_key(w, d, o));
+        EXPECT_GT(order.carrier_id, 0u)
+            << "w" << w << " d" << d << " o" << o << " skipped";
+      }
+    }
+  }
+}
+
+TEST_F(TpccFixture, OrderStatusAndStockLevelCommit) {
+  Session s = cluster_->make_session(1, 0);
+  Rng rng(5);
+  runtime::ClientStats stats;
+  for (int i = 0; i < 15; ++i) {
+    EXPECT_TRUE(workload_->run_order_status(s, rng, stats));
+    EXPECT_TRUE(workload_->run_stock_level(s, rng, stats));
+  }
+  EXPECT_EQ(stats.ro_commits, 30u);
+  EXPECT_EQ(stats.update_commits, 0u);
+  ASSERT_TRUE(cluster_->quiesce());
+}
+
+TEST(TpccMixTest, ProfileSharesMatchConfig) {
+  TpccConfig cfg;
+  cfg.read_only_ratio = 0.2;
+  TpccWorkload workload(cfg, 4);
+  Rng rng(6);
+  std::array<int, kNumProfiles> counts{};
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[static_cast<std::size_t>(workload.pick_profile(rng))];
+  }
+  const double ro_share =
+      static_cast<double>(counts[3] + counts[4]) / n;  // OrderStatus+Stock
+  EXPECT_NEAR(ro_share, 0.2, 0.02);
+  const double new_order_share = static_cast<double>(counts[0]) / n;
+  EXPECT_NEAR(new_order_share, 0.8 * 0.47, 0.03);
+  for (int c : counts) EXPECT_GT(c, 0);
+}
+
+}  // namespace
+}  // namespace fwkv::tpcc

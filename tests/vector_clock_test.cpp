@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "common/vector_clock.hpp"
+
+namespace fwkv {
+namespace {
+
+TEST(VectorClockTest, DefaultIsEmpty) {
+  VectorClock vc;
+  EXPECT_EQ(vc.size(), 0u);
+  EXPECT_TRUE(vc.empty());
+}
+
+TEST(VectorClockTest, SizedConstructionZeroInitializes) {
+  VectorClock vc(5);
+  ASSERT_EQ(vc.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(vc[i], 0u);
+}
+
+TEST(VectorClockTest, InitializerList) {
+  VectorClock vc{1, 2, 3};
+  ASSERT_EQ(vc.size(), 3u);
+  EXPECT_EQ(vc[0], 1u);
+  EXPECT_EQ(vc[2], 3u);
+}
+
+TEST(VectorClockTest, MergeTakesEntrywiseMax) {
+  VectorClock a{5, 0, 7};
+  VectorClock b{3, 9, 7};
+  a.merge(b);
+  EXPECT_EQ(a, (VectorClock{5, 9, 7}));
+}
+
+TEST(VectorClockTest, MergeIsIdempotent) {
+  VectorClock a{1, 4, 2};
+  VectorClock b{2, 3, 2};
+  a.merge(b);
+  VectorClock once = a;
+  a.merge(b);
+  EXPECT_EQ(a, once);
+}
+
+TEST(VectorClockTest, MergeIsCommutativeInEffect) {
+  VectorClock a{1, 4, 2};
+  VectorClock b{2, 3, 9};
+  VectorClock ab = a;
+  ab.merge(b);
+  VectorClock ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab, ba);
+}
+
+TEST(VectorClockTest, LeqReflexive) {
+  VectorClock a{1, 2, 3};
+  EXPECT_TRUE(a.leq(a));
+}
+
+TEST(VectorClockTest, LeqDetectsGreaterEntry) {
+  VectorClock a{1, 2, 3};
+  VectorClock b{1, 2, 2};
+  EXPECT_FALSE(a.leq(b));
+  EXPECT_TRUE(b.leq(a));
+}
+
+TEST(VectorClockTest, IncomparableClocksFailBothDirections) {
+  VectorClock a{2, 1};
+  VectorClock b{1, 2};
+  EXPECT_FALSE(a.leq(b));
+  EXPECT_FALSE(b.leq(a));
+}
+
+TEST(VectorClockTest, LeqMaskedIgnoresUnmaskedEntries) {
+  VectorClock version{9, 1, 9};
+  VectorClock snapshot{0, 5, 0};
+  std::vector<bool> mask{false, true, false};
+  // Entries 0 and 2 exceed the snapshot but are unmasked (unread sites).
+  EXPECT_TRUE(version.leq_masked(snapshot, mask));
+}
+
+TEST(VectorClockTest, LeqMaskedChecksMaskedEntries) {
+  VectorClock version{0, 6, 0};
+  VectorClock snapshot{9, 5, 9};
+  std::vector<bool> mask{false, true, false};
+  EXPECT_FALSE(version.leq_masked(snapshot, mask));
+}
+
+TEST(VectorClockTest, LeqMaskedAllFalseAlwaysTrue) {
+  VectorClock version{100, 100};
+  VectorClock snapshot{0, 0};
+  std::vector<bool> mask{false, false};
+  // No site read yet -> every version is visible (first-read freshness).
+  EXPECT_TRUE(version.leq_masked(snapshot, mask));
+}
+
+TEST(VectorClockTest, EqMasked) {
+  VectorClock a{1, 2, 3};
+  VectorClock b{9, 2, 7};
+  EXPECT_TRUE(a.eq_masked(b, {false, true, false}));
+  EXPECT_FALSE(a.eq_masked(b, {true, true, false}));
+  EXPECT_TRUE(a.eq_masked(b, {false, false, false}));
+}
+
+TEST(VectorClockTest, ToString) {
+  VectorClock vc{2, 7, 6, 13};
+  EXPECT_EQ(vc.to_string(), "<2,7,6,13>");
+  EXPECT_EQ(VectorClock{}.to_string(), "<>");
+}
+
+TEST(AccessVectorTest, StartsAllFalse) {
+  AccessVector av(4);
+  EXPECT_FALSE(av.any());
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_FALSE(av.get(i));
+}
+
+TEST(AccessVectorTest, SetAndAny) {
+  AccessVector av(4);
+  av.set(2);
+  EXPECT_TRUE(av.any());
+  EXPECT_TRUE(av.get(2));
+  EXPECT_FALSE(av.get(1));
+}
+
+TEST(AccessVectorTest, ResetClearsAll) {
+  AccessVector av(3);
+  av.set(0);
+  av.set(2);
+  av.reset();
+  EXPECT_FALSE(av.any());
+}
+
+TEST(AccessVectorTest, ToString) {
+  AccessVector av(3);
+  av.set(1);
+  EXPECT_EQ(av.to_string(), "[010]");
+}
+
+// Property sweep: merge upper-bounds both operands; leq agrees with merge.
+class VectorClockPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(VectorClockPropertyTest, MergeIsLeastUpperBound) {
+  const int seed = GetParam();
+  std::mt19937_64 rng(seed);
+  for (int iter = 0; iter < 50; ++iter) {
+    const std::size_t n = 1 + rng() % 32;
+    VectorClock a(n);
+    VectorClock b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      a[i] = rng() % 100;
+      b[i] = rng() % 100;
+    }
+    VectorClock m = a;
+    m.merge(b);
+    EXPECT_TRUE(a.leq(m));
+    EXPECT_TRUE(b.leq(m));
+    // Least: decreasing any entry of m breaks one of the bounds.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (m[i] == 0) continue;
+      VectorClock lower = m;
+      --lower[i];
+      EXPECT_FALSE(a.leq(lower) && b.leq(lower));
+    }
+  }
+}
+
+TEST_P(VectorClockPropertyTest, LeqMaskedMonotoneInMask) {
+  const int seed = GetParam();
+  std::mt19937_64 rng(seed * 977 + 3);
+  for (int iter = 0; iter < 50; ++iter) {
+    const std::size_t n = 1 + rng() % 16;
+    VectorClock a(n);
+    VectorClock b(n);
+    std::vector<bool> mask(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      a[i] = rng() % 10;
+      b[i] = rng() % 10;
+      mask[i] = rng() % 2 == 0;
+    }
+    // Clearing a mask bit can only make leq_masked *more* permissive.
+    if (a.leq_masked(b, mask)) {
+      for (std::size_t i = 0; i < n; ++i) {
+        auto weaker = mask;
+        weaker[i] = false;
+        EXPECT_TRUE(a.leq_masked(b, weaker));
+      }
+    }
+    // Full mask agrees with plain leq.
+    EXPECT_EQ(a.leq_masked(b, std::vector<bool>(n, true)), a.leq(b));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VectorClockPropertyTest,
+                         ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace fwkv

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "workload/ycsb.hpp"
+
+namespace fwkv::ycsb {
+namespace {
+
+TEST(YcsbTest, LoadPopulatesAllKeys) {
+  ClusterConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.net.one_way_latency = std::chrono::microseconds(5);
+  Cluster cluster(cfg);
+  YcsbConfig ycfg;
+  ycfg.total_keys = 500;
+  YcsbWorkload workload(ycfg);
+  workload.load(cluster);
+
+  Session s = cluster.make_session(0, 0);
+  auto tx = s.begin(true);
+  for (Key k : {Key{0}, Key{250}, Key{499}}) {
+    auto v = s.read(tx, k);
+    ASSERT_TRUE(v.has_value()) << "key " << k << " missing";
+    EXPECT_EQ(v->size(), ycfg.value_size);
+  }
+  EXPECT_FALSE(s.read(tx, 500).has_value());
+  s.commit(tx);
+}
+
+TEST(YcsbTest, UniformKeysStayInRange) {
+  YcsbConfig cfg;
+  cfg.total_keys = 1000;
+  YcsbWorkload workload(cfg);
+  Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_LT(workload.pick_key(rng), cfg.total_keys);
+  }
+}
+
+TEST(YcsbTest, ZipfKeysSkewed) {
+  YcsbConfig cfg;
+  cfg.total_keys = 10000;
+  cfg.zipf_theta = 0.99;
+  YcsbWorkload workload(cfg);
+  Rng rng(2);
+  int head = 0;
+  for (int i = 0; i < 5000; ++i) {
+    if (workload.pick_key(rng) < 100) ++head;
+  }
+  EXPECT_GT(head, 1500);
+}
+
+TEST(YcsbTest, ValueSizeMatchesConfig) {
+  Rng rng(3);
+  EXPECT_EQ(YcsbWorkload::make_value(rng, 12).size(), 12u);
+  EXPECT_EQ(YcsbWorkload::make_value(rng, 100).size(), 100u);
+}
+
+TEST(YcsbTest, MixMatchesReadOnlyRatio) {
+  ClusterConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.net.one_way_latency = std::chrono::microseconds(5);
+  Cluster cluster(cfg);
+  YcsbConfig ycfg;
+  ycfg.total_keys = 2000;
+  ycfg.read_only_ratio = 0.5;
+  YcsbWorkload workload(ycfg);
+  workload.load(cluster);
+
+  Session s = cluster.make_session(0, 0);
+  Rng rng(4);
+  runtime::ClientStats stats;
+  for (int i = 0; i < 400; ++i) workload.execute_one(s, rng, stats);
+  const double ro_share =
+      static_cast<double>(stats.ro_commits) /
+      static_cast<double>(stats.ro_commits + stats.update_commits);
+  EXPECT_NEAR(ro_share, 0.5, 0.08);
+  ASSERT_TRUE(cluster.quiesce());
+}
+
+TEST(YcsbTest, TransactionsTouchConfiguredKeyCount) {
+  ClusterConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.net.one_way_latency = std::chrono::microseconds(5);
+  Cluster cluster(cfg);
+  YcsbConfig ycfg;
+  ycfg.total_keys = 100;
+  ycfg.read_only_ratio = 1.0;  // all read-only: reads == 2 per tx
+  ycfg.keys_per_tx = 2;
+  YcsbWorkload workload(ycfg);
+  workload.load(cluster);
+
+  Session s = cluster.make_session(0, 0);
+  Rng rng(5);
+  runtime::ClientStats stats;
+  for (int i = 0; i < 50; ++i) workload.execute_one(s, rng, stats);
+  EXPECT_EQ(stats.reads, 100u);
+  EXPECT_EQ(stats.ro_commits, 50u);
+  ASSERT_TRUE(cluster.quiesce());
+}
+
+}  // namespace
+}  // namespace fwkv::ycsb
