@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extA_freshness.dir/extA_freshness.cpp.o"
+  "CMakeFiles/extA_freshness.dir/extA_freshness.cpp.o.d"
+  "extA_freshness"
+  "extA_freshness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extA_freshness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

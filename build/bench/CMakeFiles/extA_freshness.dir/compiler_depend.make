@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for extA_freshness.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for extA_freshness.
+# This may be replaced when dependencies are built.

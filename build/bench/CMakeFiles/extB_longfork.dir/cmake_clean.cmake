@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extB_longfork.dir/extB_longfork.cpp.o"
+  "CMakeFiles/extB_longfork.dir/extB_longfork.cpp.o.d"
+  "extB_longfork"
+  "extB_longfork.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extB_longfork.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

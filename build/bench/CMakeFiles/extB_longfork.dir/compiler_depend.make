@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for extB_longfork.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for extB_longfork.
+# This may be replaced when dependencies are built.

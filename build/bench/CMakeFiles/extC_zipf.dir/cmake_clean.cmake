@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extC_zipf.dir/extC_zipf.cpp.o"
+  "CMakeFiles/extC_zipf.dir/extC_zipf.cpp.o.d"
+  "extC_zipf"
+  "extC_zipf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extC_zipf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

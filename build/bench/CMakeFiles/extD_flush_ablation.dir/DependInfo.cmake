@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/extD_flush_ablation.cpp" "bench/CMakeFiles/extD_flush_ablation.dir/extD_flush_ablation.cpp.o" "gcc" "bench/CMakeFiles/extD_flush_ablation.dir/extD_flush_ablation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fwkv_experiment.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fwkv_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fwkv_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fwkv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fwkv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fwkv_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fwkv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extD_flush_ablation.dir/extD_flush_ablation.cpp.o"
+  "CMakeFiles/extD_flush_ablation.dir/extD_flush_ablation.cpp.o.d"
+  "extD_flush_ablation"
+  "extD_flush_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extD_flush_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

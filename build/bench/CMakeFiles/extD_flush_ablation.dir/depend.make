@@ -1,0 +1,2 @@
+# Empty dependencies file for extD_flush_ablation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extE_geo.dir/extE_geo.cpp.o"
+  "CMakeFiles/extE_geo.dir/extE_geo.cpp.o.d"
+  "extE_geo"
+  "extE_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extE_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_antidep_size.dir/fig6_antidep_size.cpp.o"
+  "CMakeFiles/fig6_antidep_size.dir/fig6_antidep_size.cpp.o.d"
+  "fig6_antidep_size"
+  "fig6_antidep_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_antidep_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

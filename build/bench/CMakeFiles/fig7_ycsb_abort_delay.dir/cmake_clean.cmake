@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_ycsb_abort_delay.dir/fig7_ycsb_abort_delay.cpp.o"
+  "CMakeFiles/fig7_ycsb_abort_delay.dir/fig7_ycsb_abort_delay.cpp.o.d"
+  "fig7_ycsb_abort_delay"
+  "fig7_ycsb_abort_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_ycsb_abort_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_tpcc_throughput.dir/fig8_tpcc_throughput.cpp.o"
+  "CMakeFiles/fig8_tpcc_throughput.dir/fig8_tpcc_throughput.cpp.o.d"
+  "fig8_tpcc_throughput"
+  "fig8_tpcc_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_tpcc_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

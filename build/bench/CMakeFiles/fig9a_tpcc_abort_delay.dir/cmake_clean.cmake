@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9a_tpcc_abort_delay.dir/fig9a_tpcc_abort_delay.cpp.o"
+  "CMakeFiles/fig9a_tpcc_abort_delay.dir/fig9a_tpcc_abort_delay.cpp.o.d"
+  "fig9a_tpcc_abort_delay"
+  "fig9a_tpcc_abort_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9a_tpcc_abort_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

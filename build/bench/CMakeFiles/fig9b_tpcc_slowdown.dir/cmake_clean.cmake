@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9b_tpcc_slowdown.dir/fig9b_tpcc_slowdown.cpp.o"
+  "CMakeFiles/fig9b_tpcc_slowdown.dir/fig9b_tpcc_slowdown.cpp.o.d"
+  "fig9b_tpcc_slowdown"
+  "fig9b_tpcc_slowdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9b_tpcc_slowdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

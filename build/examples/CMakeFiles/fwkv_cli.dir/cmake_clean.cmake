@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fwkv_cli.dir/fwkv_cli.cpp.o"
+  "CMakeFiles/fwkv_cli.dir/fwkv_cli.cpp.o.d"
+  "fwkv_cli"
+  "fwkv_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fwkv_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

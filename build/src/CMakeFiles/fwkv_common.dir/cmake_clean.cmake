@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fwkv_common.dir/common/consistent_hash.cpp.o"
+  "CMakeFiles/fwkv_common.dir/common/consistent_hash.cpp.o.d"
+  "CMakeFiles/fwkv_common.dir/common/histogram.cpp.o"
+  "CMakeFiles/fwkv_common.dir/common/histogram.cpp.o.d"
+  "CMakeFiles/fwkv_common.dir/common/logging.cpp.o"
+  "CMakeFiles/fwkv_common.dir/common/logging.cpp.o.d"
+  "CMakeFiles/fwkv_common.dir/common/rng.cpp.o"
+  "CMakeFiles/fwkv_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/fwkv_common.dir/common/vector_clock.cpp.o"
+  "CMakeFiles/fwkv_common.dir/common/vector_clock.cpp.o.d"
+  "libfwkv_common.a"
+  "libfwkv_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fwkv_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cluster.cpp" "src/CMakeFiles/fwkv_core.dir/core/cluster.cpp.o" "gcc" "src/CMakeFiles/fwkv_core.dir/core/cluster.cpp.o.d"
+  "/root/repo/src/core/mv_node.cpp" "src/CMakeFiles/fwkv_core.dir/core/mv_node.cpp.o" "gcc" "src/CMakeFiles/fwkv_core.dir/core/mv_node.cpp.o.d"
+  "/root/repo/src/core/session.cpp" "src/CMakeFiles/fwkv_core.dir/core/session.cpp.o" "gcc" "src/CMakeFiles/fwkv_core.dir/core/session.cpp.o.d"
+  "/root/repo/src/core/transaction.cpp" "src/CMakeFiles/fwkv_core.dir/core/transaction.cpp.o" "gcc" "src/CMakeFiles/fwkv_core.dir/core/transaction.cpp.o.d"
+  "/root/repo/src/twopc/twopc_node.cpp" "src/CMakeFiles/fwkv_core.dir/twopc/twopc_node.cpp.o" "gcc" "src/CMakeFiles/fwkv_core.dir/twopc/twopc_node.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fwkv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fwkv_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fwkv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fwkv_core.dir/core/cluster.cpp.o"
+  "CMakeFiles/fwkv_core.dir/core/cluster.cpp.o.d"
+  "CMakeFiles/fwkv_core.dir/core/mv_node.cpp.o"
+  "CMakeFiles/fwkv_core.dir/core/mv_node.cpp.o.d"
+  "CMakeFiles/fwkv_core.dir/core/session.cpp.o"
+  "CMakeFiles/fwkv_core.dir/core/session.cpp.o.d"
+  "CMakeFiles/fwkv_core.dir/core/transaction.cpp.o"
+  "CMakeFiles/fwkv_core.dir/core/transaction.cpp.o.d"
+  "CMakeFiles/fwkv_core.dir/twopc/twopc_node.cpp.o"
+  "CMakeFiles/fwkv_core.dir/twopc/twopc_node.cpp.o.d"
+  "libfwkv_core.a"
+  "libfwkv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fwkv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

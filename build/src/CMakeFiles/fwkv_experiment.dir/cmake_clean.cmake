@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fwkv_experiment.dir/runtime/experiment.cpp.o"
+  "CMakeFiles/fwkv_experiment.dir/runtime/experiment.cpp.o.d"
+  "libfwkv_experiment.a"
+  "libfwkv_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fwkv_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

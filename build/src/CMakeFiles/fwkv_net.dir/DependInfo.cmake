@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/codec.cpp" "src/CMakeFiles/fwkv_net.dir/net/codec.cpp.o" "gcc" "src/CMakeFiles/fwkv_net.dir/net/codec.cpp.o.d"
+  "/root/repo/src/net/delay_queue.cpp" "src/CMakeFiles/fwkv_net.dir/net/delay_queue.cpp.o" "gcc" "src/CMakeFiles/fwkv_net.dir/net/delay_queue.cpp.o.d"
+  "/root/repo/src/net/executor.cpp" "src/CMakeFiles/fwkv_net.dir/net/executor.cpp.o" "gcc" "src/CMakeFiles/fwkv_net.dir/net/executor.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/fwkv_net.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/fwkv_net.dir/net/network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fwkv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fwkv_net.dir/net/codec.cpp.o"
+  "CMakeFiles/fwkv_net.dir/net/codec.cpp.o.d"
+  "CMakeFiles/fwkv_net.dir/net/delay_queue.cpp.o"
+  "CMakeFiles/fwkv_net.dir/net/delay_queue.cpp.o.d"
+  "CMakeFiles/fwkv_net.dir/net/executor.cpp.o"
+  "CMakeFiles/fwkv_net.dir/net/executor.cpp.o.d"
+  "CMakeFiles/fwkv_net.dir/net/network.cpp.o"
+  "CMakeFiles/fwkv_net.dir/net/network.cpp.o.d"
+  "libfwkv_net.a"
+  "libfwkv_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fwkv_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

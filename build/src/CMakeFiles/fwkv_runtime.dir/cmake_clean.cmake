@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fwkv_runtime.dir/runtime/driver.cpp.o"
+  "CMakeFiles/fwkv_runtime.dir/runtime/driver.cpp.o.d"
+  "CMakeFiles/fwkv_runtime.dir/runtime/longfork.cpp.o"
+  "CMakeFiles/fwkv_runtime.dir/runtime/longfork.cpp.o.d"
+  "CMakeFiles/fwkv_runtime.dir/runtime/metrics.cpp.o"
+  "CMakeFiles/fwkv_runtime.dir/runtime/metrics.cpp.o.d"
+  "CMakeFiles/fwkv_runtime.dir/runtime/report.cpp.o"
+  "CMakeFiles/fwkv_runtime.dir/runtime/report.cpp.o.d"
+  "libfwkv_runtime.a"
+  "libfwkv_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fwkv_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/store/lock_table.cpp" "src/CMakeFiles/fwkv_store.dir/store/lock_table.cpp.o" "gcc" "src/CMakeFiles/fwkv_store.dir/store/lock_table.cpp.o.d"
+  "/root/repo/src/store/mv_store.cpp" "src/CMakeFiles/fwkv_store.dir/store/mv_store.cpp.o" "gcc" "src/CMakeFiles/fwkv_store.dir/store/mv_store.cpp.o.d"
+  "/root/repo/src/store/sv_store.cpp" "src/CMakeFiles/fwkv_store.dir/store/sv_store.cpp.o" "gcc" "src/CMakeFiles/fwkv_store.dir/store/sv_store.cpp.o.d"
+  "/root/repo/src/store/version_chain.cpp" "src/CMakeFiles/fwkv_store.dir/store/version_chain.cpp.o" "gcc" "src/CMakeFiles/fwkv_store.dir/store/version_chain.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fwkv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

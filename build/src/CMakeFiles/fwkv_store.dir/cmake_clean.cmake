@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fwkv_store.dir/store/lock_table.cpp.o"
+  "CMakeFiles/fwkv_store.dir/store/lock_table.cpp.o.d"
+  "CMakeFiles/fwkv_store.dir/store/mv_store.cpp.o"
+  "CMakeFiles/fwkv_store.dir/store/mv_store.cpp.o.d"
+  "CMakeFiles/fwkv_store.dir/store/sv_store.cpp.o"
+  "CMakeFiles/fwkv_store.dir/store/sv_store.cpp.o.d"
+  "CMakeFiles/fwkv_store.dir/store/version_chain.cpp.o"
+  "CMakeFiles/fwkv_store.dir/store/version_chain.cpp.o.d"
+  "libfwkv_store.a"
+  "libfwkv_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fwkv_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fwkv_workload.dir/workload/tpcc.cpp.o"
+  "CMakeFiles/fwkv_workload.dir/workload/tpcc.cpp.o.d"
+  "CMakeFiles/fwkv_workload.dir/workload/tpcc_loader.cpp.o"
+  "CMakeFiles/fwkv_workload.dir/workload/tpcc_loader.cpp.o.d"
+  "CMakeFiles/fwkv_workload.dir/workload/tpcc_schema.cpp.o"
+  "CMakeFiles/fwkv_workload.dir/workload/tpcc_schema.cpp.o.d"
+  "CMakeFiles/fwkv_workload.dir/workload/ycsb.cpp.o"
+  "CMakeFiles/fwkv_workload.dir/workload/ycsb.cpp.o.d"
+  "libfwkv_workload.a"
+  "libfwkv_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fwkv_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consistent_hash_test.dir/consistent_hash_test.cpp.o"
+  "CMakeFiles/consistent_hash_test.dir/consistent_hash_test.cpp.o.d"
+  "consistent_hash_test"
+  "consistent_hash_test.pdb"
+  "consistent_hash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consistent_hash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

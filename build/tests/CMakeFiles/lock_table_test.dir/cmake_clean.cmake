@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lock_table_test.dir/lock_table_test.cpp.o"
+  "CMakeFiles/lock_table_test.dir/lock_table_test.cpp.o.d"
+  "lock_table_test"
+  "lock_table_test.pdb"
+  "lock_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lock_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/longfork_test.dir/longfork_test.cpp.o"
+  "CMakeFiles/longfork_test.dir/longfork_test.cpp.o.d"
+  "longfork_test"
+  "longfork_test.pdb"
+  "longfork_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/longfork_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mv_store_test.dir/mv_store_test.cpp.o"
+  "CMakeFiles/mv_store_test.dir/mv_store_test.cpp.o.d"
+  "mv_store_test"
+  "mv_store_test.pdb"
+  "mv_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mv_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

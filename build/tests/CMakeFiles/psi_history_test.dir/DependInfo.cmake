@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/psi_history_test.cpp" "tests/CMakeFiles/psi_history_test.dir/psi_history_test.cpp.o" "gcc" "tests/CMakeFiles/psi_history_test.dir/psi_history_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fwkv_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fwkv_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fwkv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fwkv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fwkv_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fwkv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psi_history_test.dir/psi_history_test.cpp.o"
+  "CMakeFiles/psi_history_test.dir/psi_history_test.cpp.o.d"
+  "psi_history_test"
+  "psi_history_test.pdb"
+  "psi_history_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psi_history_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

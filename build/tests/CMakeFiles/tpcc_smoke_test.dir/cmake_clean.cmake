@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcc_smoke_test.dir/tpcc_smoke_test.cpp.o"
+  "CMakeFiles/tpcc_smoke_test.dir/tpcc_smoke_test.cpp.o.d"
+  "tpcc_smoke_test"
+  "tpcc_smoke_test.pdb"
+  "tpcc_smoke_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcc_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcc_test.dir/tpcc_test.cpp.o"
+  "CMakeFiles/tpcc_test.dir/tpcc_test.cpp.o.d"
+  "tpcc_test"
+  "tpcc_test.pdb"
+  "tpcc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

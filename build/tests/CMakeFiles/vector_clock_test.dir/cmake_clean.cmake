@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vector_clock_test.dir/vector_clock_test.cpp.o"
+  "CMakeFiles/vector_clock_test.dir/vector_clock_test.cpp.o.d"
+  "vector_clock_test"
+  "vector_clock_test.pdb"
+  "vector_clock_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vector_clock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

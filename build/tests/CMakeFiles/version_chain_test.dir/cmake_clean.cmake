@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/version_chain_test.dir/version_chain_test.cpp.o"
+  "CMakeFiles/version_chain_test.dir/version_chain_test.cpp.o.d"
+  "version_chain_test"
+  "version_chain_test.pdb"
+  "version_chain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/version_chain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
