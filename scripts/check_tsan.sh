@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Build with ThreadSanitizer and run the tier-1 ctest suite under it.
+#
+# The lock-light read lane (per-entry seqlock snapshots, reader-writer entry
+# latches, striped removed-set) must be proven race-clean on every change,
+# not assumed: this is the proof. Any TSan report fails the run.
+#
+# Usage: scripts/check_tsan.sh [extra ctest args, e.g. -R MVStore]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build-tsan
+JOBS=$(nproc)
+
+cmake -B "$BUILD_DIR" -S . \
+  -DFWKV_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j"$JOBS"
+
+export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS" "$@"

@@ -79,8 +79,9 @@ std::optional<Value> MvNodeBase::read(Transaction& tx, Key key) {
     if (rr.server_seq > tx.vc()[target]) tx.vc()[target] = rr.server_seq;
   }
   if (tx.read_only() && track_antideps()) {
-    // Alg. 2 lines 10-12: remember read keys to dispatch Remove later.
-    tx.record_read_key(key);
+    // Alg. 2 lines 10-12: buffer (site, key) so commit can flush one
+    // batched Remove per contacted site.
+    tx.record_read_key(target, key);
   }
   if (!tx.read_only()) {
     // Remember the version observed so that, if this key is later written,
@@ -103,15 +104,12 @@ bool MvNodeBase::commit(Transaction& tx) {
   // cleanup of the transaction's visible-read traces.
   if (tx.write_set().empty()) {
     if (track_antideps()) {
-      // One Remove per contacted site suffices: the handler (Alg. 6 lines
-      // 5-10) cleans every access-set on the node through the reverse index.
-      std::vector<NodeId> sites;
-      for (Key k : tx.read_keys()) {
-        NodeId s = ctx_.mapper->node_for(k);
-        if (std::find(sites.begin(), sites.end(), s) == sites.end()) {
-          sites.push_back(s);
-          ctx_.network->send(id_, s, RemoveMessage{tx.id(), k});
-        }
+      // One Remove per contacted site, carrying the transaction's batched
+      // registration buffer for that site: the handler deregisters the
+      // visible-read traces through the key list and the reverse index
+      // covers ids stamped elsewhere by committing writers (Alg. 6 l. 5-10).
+      for (auto& [site, keys] : tx.registrations_by_site()) {
+        ctx_.network->send(id_, site, RemoveMessage{tx.id(), std::move(keys)});
       }
     }
     tx.mark_committed();
@@ -515,8 +513,9 @@ void MvNodeBase::flush_propagation() {
 
 void MvNodeBase::on_remove(const RemoveMessage& m) {
   // Alg. 6 lines 5-10: drop the finished read-only transaction's id from
-  // every version-access-set on this node (reverse-index assisted).
-  store_.remove_tx(m.tx);
+  // every version-access-set on this node — its own reads via the batched
+  // key list, stamped copies via the reverse index.
+  store_.remove_tx(m.tx, m.keys);
   stats_.removes_processed.add();
 }
 

@@ -7,6 +7,7 @@
 #include <map>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/ids.hpp"
@@ -44,10 +45,19 @@ class Transaction {
   std::optional<Value> cached_read(Key key) const;
   void cache_read(Key key, Value value);
 
-  /// T.readKeys — keys read by a read-only transaction, used only to
-  /// dispatch Remove messages at commit (Alg. 2 line 11, Alg. 4 lines 3-5).
-  const std::vector<Key>& read_keys() const { return read_keys_; }
-  void record_read_key(Key key);
+  /// T.readKeys — the per-transaction registration buffer: (site, key) for
+  /// every key a read-only transaction read, in read order (Alg. 2 line 11).
+  /// Flushed once at commit as one batched Remove per contacted site
+  /// (Alg. 4 lines 3-5), so reader deregistration costs one message and one
+  /// index access per site instead of per key.
+  const std::vector<std::pair<NodeId, Key>>& read_registrations() const {
+    return read_registrations_;
+  }
+  void record_read_key(NodeId site, Key key);
+
+  /// Group the registration buffer by site for the commit-time flush.
+  std::vector<std::pair<NodeId, std::vector<Key>>> registrations_by_site()
+      const;
 
   /// 2PC-baseline read validation set: key -> version observed.
   const std::map<Key, VersionId>& validation_set() const {
@@ -79,7 +89,7 @@ class Transaction {
   AccessVector has_read_;
   std::map<Key, Value> write_set_;
   std::unordered_map<Key, Value> read_cache_;
-  std::vector<Key> read_keys_;
+  std::vector<std::pair<NodeId, Key>> read_registrations_;
   std::map<Key, VersionId> validation_set_;
 
   std::uint32_t reads_issued_ = 0;

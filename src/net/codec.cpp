@@ -197,7 +197,8 @@ struct EncodeVisitor {
   }
   void operator()(const RemoveMessage& m) const {
     e.put_u64(m.tx.raw);
-    e.put_u64(m.key);
+    e.put_u32(static_cast<std::uint32_t>(m.keys.size()));
+    for (Key k : m.keys) e.put_u64(k);
   }
   void operator()(const DecideAck& m) const { e.put_u64(m.rpc_id); }
 };
@@ -209,6 +210,13 @@ std::vector<std::uint8_t> encode_message(const Message& m) {
   e.put_u8(static_cast<std::uint8_t>(type_of(m)));
   std::visit(EncodeVisitor{e}, m);
   return e.take();
+}
+
+void encode_message_into(const Message& m, std::vector<std::uint8_t>& out) {
+  Encoder e(std::move(out));
+  e.put_u8(static_cast<std::uint8_t>(type_of(m)));
+  std::visit(EncodeVisitor{e}, m);
+  out = e.take();
 }
 
 std::optional<Message> decode_message(const std::vector<std::uint8_t>& bytes) {
@@ -294,7 +302,11 @@ std::optional<Message> decode_message(const std::vector<std::uint8_t>& bytes) {
     case MessageType::kRemove: {
       RemoveMessage m;
       m.tx = TxId{d.get_u64()};
-      m.key = d.get_u64();
+      const std::uint32_t n = d.get_u32();
+      if (d.ok() && n <= (1u << 24)) {
+        m.keys.reserve(n);
+        for (std::uint32_t i = 0; i < n; ++i) m.keys.push_back(d.get_u64());
+      }
       out = std::move(m);
       break;
     }

@@ -13,9 +13,16 @@
 
 namespace fwkv::net {
 
-/// Append-only little-endian byte writer.
+/// Append-only little-endian byte writer. Default-constructed it owns a
+/// fresh buffer; the adopting constructor reuses a caller-provided one
+/// (cleared, capacity kept) so steady-state encoding stops heap-allocating.
 class Encoder {
  public:
+  Encoder() = default;
+  explicit Encoder(std::vector<std::uint8_t>&& reuse) : buf_(std::move(reuse)) {
+    buf_.clear();
+  }
+
   void put_u8(std::uint8_t v);
   void put_u32(std::uint32_t v);
   void put_u64(std::uint64_t v);
@@ -58,6 +65,11 @@ class Decoder {
 
 /// Serialize any protocol message, prefixed with its MessageType tag.
 std::vector<std::uint8_t> encode_message(const Message& m);
+
+/// Same, but into a reusable buffer (cleared first, capacity retained).
+/// Hot senders keep one per thread so per-message encoding is allocation-
+/// free once the buffer has warmed up.
+void encode_message_into(const Message& m, std::vector<std::uint8_t>& out);
 
 /// Parse a message; nullopt on malformed input (wrong tag, truncation,
 /// trailing garbage).

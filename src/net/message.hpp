@@ -123,9 +123,13 @@ struct DecideAck {
   std::uint64_t rpc_id = 0;
 };
 
+/// Read-only commit cleanup (Alg. 4 line 4). Carries the transaction's
+/// batched registration buffer for the destination site: every key it read
+/// there, flushed once per transaction so the handler can deregister the
+/// visible-read traces without a per-read reverse-index entry.
 struct RemoveMessage {
   TxId tx;
-  Key key;
+  std::vector<Key> keys;
 };
 
 using Message = std::variant<ReadRequest, ReadReturn, PrepareRequest,

@@ -75,10 +75,12 @@ void SimNetwork::send(NodeId from, NodeId to, Message m) {
   sent_by_type_[static_cast<std::size_t>(type_of(m))].add();
   if (config_.serialize_messages) {
     // Round-trip through the codec: realistic marshalling cost and a
-    // guarantee the message survives a real wire.
-    auto bytes = encode_message(m);
-    bytes_sent_.add(bytes.size());
-    auto decoded = decode_message(bytes);
+    // guarantee the message survives a real wire. The wire buffer is pooled
+    // per sending thread so steady-state encoding is allocation-free.
+    thread_local std::vector<std::uint8_t> wire_buf;
+    encode_message_into(m, wire_buf);
+    bytes_sent_.add(wire_buf.size());
+    auto decoded = decode_message(wire_buf);
     assert(decoded.has_value());
     m = std::move(*decoded);
   }
@@ -214,22 +216,26 @@ std::uint64_t SimNetwork::messages_sent(MessageType t) const {
 
 std::uint64_t SimNetwork::bytes_sent() const { return bytes_sent_.get(); }
 
+bool SimNetwork::quiet_now() const {
+  if (in_flight_.load(std::memory_order_acquire) != 0) return false;
+  for (const auto& lanes : nodes_) {
+    if (lanes.endpoint != nullptr && lanes.endpoint->pending_work() > 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
 bool SimNetwork::wait_quiescent(std::chrono::nanoseconds timeout) {
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   for (;;) {
-    bool quiet = in_flight_.load(std::memory_order_acquire) == 0;
-    if (quiet) {
-      for (const auto& lanes : nodes_) {
-        if (lanes.endpoint != nullptr && lanes.endpoint->pending_work() > 0) {
-          quiet = false;
-          break;
-        }
-      }
-    }
-    if (quiet) {
-      // Double-check after a short pause: a handler might be about to send.
+    if (quiet_now()) {
+      // Double-check after a short pause: a handler might be about to send,
+      // or a task queued on an executor during the pause may surface as
+      // pending work — the recheck must repeat the full sweep, not just
+      // re-read the in-flight counter.
       std::this_thread::sleep_for(std::chrono::microseconds(200));
-      if (in_flight_.load(std::memory_order_acquire) == 0) return true;
+      if (quiet_now()) return true;
     }
     if (std::chrono::steady_clock::now() >= deadline) return false;
     std::this_thread::sleep_for(std::chrono::microseconds(100));

@@ -131,6 +131,9 @@ class SimNetwork {
 
  private:
   void deliver(NodeId from, NodeId to, Message m);
+  /// One full quiescence sweep: no message in flight AND no endpoint with
+  /// buffered pending work.
+  bool quiet_now() const;
   std::chrono::nanoseconds latency_for(const Message& m, NodeId from,
                                        NodeId to);
 

@@ -1,12 +1,48 @@
 #include "store/mv_store.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "common/consistent_hash.hpp"
 
 namespace fwkv::store {
 
-MVStore::MVStore(std::size_t shards) {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Per-thread resolved-Entry cache.
+//
+// Entries are created on demand and never destroyed while their store lives
+// (shard maps only ever insert), so an Entry* resolved once stays valid for
+// the store's lifetime. Each executor thread keeps a small direct-mapped
+// cache of (store, key) -> Entry*; repeated touches of a hot key skip the
+// shard shared_mutex entirely. Slots are tagged with a store id drawn from a
+// process-global counter, so a slot left over from a destroyed store can
+// never satisfy a lookup against a new one (even at the same address).
+// ---------------------------------------------------------------------------
+
+struct EntryCacheSlot {
+  std::uint64_t store_id = 0;
+  Key key = 0;
+  void* entry = nullptr;
+};
+
+constexpr std::size_t kEntryCacheSlots = 256;  // power of two
+thread_local EntryCacheSlot t_entry_cache[kEntryCacheSlots];
+
+std::atomic<std::uint64_t> g_next_store_id{1};
+
+std::size_t cache_slot(std::uint64_t store_id, std::uint64_t key_hash) {
+  return (key_hash ^ (store_id * 0x9E3779B97F4A7C15ull)) &
+         (kEntryCacheSlots - 1);
+}
+
+}  // namespace
+
+MVStore::MVStore(std::size_t shards, std::size_t removed_capacity)
+    : store_id_(g_next_store_id.fetch_add(1, std::memory_order_relaxed)),
+      removed_stripe_cap_(std::max<std::size_t>(
+          1, removed_capacity / kRemovedStripes)) {
   assert(shards > 0);
   map_shards_.reserve(shards);
   index_shards_.reserve(shards);
@@ -16,20 +52,29 @@ MVStore::MVStore(std::size_t shards) {
   }
 }
 
-MVStore::Entry* MVStore::find_entry(Key key) const {
-  const auto& shard = *map_shards_[hash_key(key) % map_shards_.size()];
-  std::shared_lock<std::shared_mutex> lock(shard.mu);
-  auto it = shard.map.find(key);
-  return it == shard.map.end() ? nullptr : it->second.get();
-}
+MVStore::~MVStore() = default;
 
-MVStore::Entry& MVStore::get_or_create_entry(Key key) {
-  auto& shard = *map_shards_[hash_key(key) % map_shards_.size()];
+MVStore::Entry* MVStore::find_entry(Key key) const {
+  const std::uint64_t h = hash_key(key);
+  EntryCacheSlot& slot = t_entry_cache[cache_slot(store_id_, h)];
+  if (slot.store_id == store_id_ && slot.key == key) {
+    return static_cast<Entry*>(slot.entry);
+  }
+  const auto& shard = *map_shards_[h % map_shards_.size()];
+  Entry* e = nullptr;
   {
     std::shared_lock<std::shared_mutex> lock(shard.mu);
     auto it = shard.map.find(key);
-    if (it != shard.map.end()) return *it->second;
+    if (it != shard.map.end()) e = it->second.get();
   }
+  // Negative results are not cached: the key may be created at any moment.
+  if (e != nullptr) slot = EntryCacheSlot{store_id_, key, e};
+  return e;
+}
+
+MVStore::Entry& MVStore::get_or_create_entry(Key key) {
+  if (Entry* e = find_entry(key)) return *e;
+  auto& shard = *map_shards_[hash_key(key) % map_shards_.size()];
   std::unique_lock<std::shared_mutex> lock(shard.mu);
   auto& slot = shard.map[key];
   if (!slot) slot = std::make_unique<Entry>();
@@ -38,9 +83,12 @@ MVStore::Entry& MVStore::get_or_create_entry(Key key) {
 
 void MVStore::load(Key key, Value value, std::size_t cluster_size) {
   Entry& e = get_or_create_entry(key);
-  std::lock_guard<std::mutex> latch(e.latch);
-  e.chain.install(std::move(value), VectorClock(cluster_size), /*origin=*/0,
-                  /*seq=*/0);
+  e.latch.lock();
+  Version& v =
+      e.chain.install(std::move(value), VectorClock(cluster_size),
+                      /*origin=*/0, /*seq=*/0);
+  e.latest.publish(v.id, v.origin, 0);
+  e.latch.unlock();
 }
 
 bool MVStore::contains(Key key) const { return find_entry(key) != nullptr; }
@@ -59,16 +107,13 @@ ReadResult MVStore::read_read_only(Key key, const VectorClock& tvc,
                                    TxId reader) {
   Entry* e = find_entry(key);
   if (e == nullptr) return {};
-  ReadResult r;
-  {
-    std::lock_guard<std::mutex> latch(e->latch);
-    r = e->chain.select_read_only(tvc, has_read, reader);
-  }
-  // select_read_only inserts the reader id unless it was already present
-  // (re-read fallback); registering twice is harmless because remove_tx
-  // tolerates duplicate refs. Registration happens after the latch is
-  // released (lock-order rule: never hold a latch and an index shard).
-  if (r.found) register_reader(reader, e, r.id);
+  // Exclusive: select_read_only inserts the reader id into the chosen
+  // version's access set (visible read, Alg. 3 line 8). No reverse-index
+  // registration here — the client flushes its read-key buffer in one
+  // batched Remove per site, and remove_tx erases the id through that list.
+  e->latch.lock();
+  ReadResult r = e->chain.select_read_only(tvc, has_read, reader);
+  e->latch.unlock();
   return r;
 }
 
@@ -77,29 +122,54 @@ ReadResult MVStore::read_update(Key key, const VectorClock& tvc,
                                 bool snapshot_fixed) const {
   Entry* e = find_entry(key);
   if (e == nullptr) return {};
-  std::lock_guard<std::mutex> latch(e->latch);
-  return e->chain.select_update(tvc, has_read, snapshot_fixed);
+  e->latch.lock_shared();
+  ReadResult r = e->chain.select_update(tvc, has_read, snapshot_fixed);
+  e->latch.unlock_shared();
+  return r;
 }
 
 ReadResult MVStore::read_walter(Key key, const VectorClock& tvc) const {
   Entry* e = find_entry(key);
   if (e == nullptr) return {};
-  std::lock_guard<std::mutex> latch(e->latch);
-  return e->chain.select_walter(tvc);
+  e->latch.lock_shared();
+  ReadResult r = e->chain.select_walter(tvc);
+  e->latch.unlock_shared();
+  return r;
 }
 
 bool MVStore::validate_key(Key key, const VectorClock& tvc) const {
   Entry* e = find_entry(key);
   if (e == nullptr) return true;  // blind insert of a fresh key
-  std::lock_guard<std::mutex> latch(e->latch);
-  return e->chain.validate(tvc);
+  VersionId id = 0;
+  NodeId origin = 0;
+  SeqNo vc_origin = 0;
+  if (e->latest.try_read(id, origin, vc_origin) && origin < tvc.size()) {
+    // Alg. 5 lines 28-32 over the snapshot: id 0 means no version has been
+    // installed yet (vacuously valid, matching chain.validate on empty).
+    if (id == 0) return true;
+    return vc_origin <= tvc[origin];
+  }
+  e->latch.lock_shared();
+  const bool ok = e->chain.validate(tvc);
+  e->latch.unlock_shared();
+  return ok;
 }
 
 bool MVStore::validate_key_version(Key key, VersionId observed) const {
   Entry* e = find_entry(key);
   if (e == nullptr) return observed == 0;
-  std::lock_guard<std::mutex> latch(e->latch);
-  return !e->chain.empty() && e->chain.latest().id == observed;
+  VersionId id = 0;
+  NodeId origin = 0;
+  SeqNo vc_origin = 0;
+  if (e->latest.try_read(id, origin, vc_origin)) {
+    // An entry that exists but has no version yet never validates (the
+    // observed id refers to a version this entry does not carry).
+    return id != 0 && id == observed;
+  }
+  e->latch.lock_shared();
+  const bool ok = !e->chain.empty() && e->chain.latest().id == observed;
+  e->latch.unlock_shared();
+  return ok;
 }
 
 void MVStore::collect_access_sets(std::span<const Key> keys,
@@ -107,8 +177,9 @@ void MVStore::collect_access_sets(std::span<const Key> keys,
   for (Key k : keys) {
     Entry* e = find_entry(k);
     if (e == nullptr) continue;
-    std::lock_guard<std::mutex> latch(e->latch);
+    e->latch.lock_shared();
     e->chain.collect_access_sets(out);
+    e->latch.unlock_shared();
   }
 }
 
@@ -118,27 +189,61 @@ void MVStore::install(Key key, Value value, const VectorClock& commit_vc,
   Entry& e = get_or_create_entry(key);
   std::vector<TxId> stamped;
   VersionId vid = 0;
+  e.latch.lock();
   {
-    std::lock_guard<std::mutex> latch(e.latch);
     Version& v = e.chain.install(std::move(value), commit_vc, origin, seq);
     vid = v.id;
     for (TxId id : collected) {
       if (recently_removed(id)) continue;  // the RO tx already finished
       if (v.access_set_insert(id)) stamped.push_back(id);
     }
+    e.latest.publish(v.id, origin,
+                     origin < commit_vc.size() ? commit_vc[origin] : 0);
   }
+  e.latch.unlock();
   // Registrations happen after the latch is released (lock-order rule).
-  for (TxId id : stamped) register_reader(id, &e, vid);
+  if (!stamped.empty()) register_readers(stamped, &e, vid);
 }
 
-void MVStore::register_reader(TxId tx, Entry* entry, VersionId version_id) {
-  auto& shard = *index_shards_[std::hash<TxId>{}(tx) % index_shards_.size()];
-  std::lock_guard<std::mutex> lock(shard.mu);
-  shard.map[tx].push_back(IndexRef{entry, version_id});
+void MVStore::register_readers(std::span<const TxId> ids, Entry* entry,
+                               VersionId version_id) {
+  // Group the stamped ids by index shard so each shard lock involved is
+  // taken once per install, not once per id. Collected sets are small
+  // (Fig. 6), so sorting a scratch vector is cheaper than repeated locking.
+  std::vector<std::pair<std::size_t, TxId>> by_shard;
+  by_shard.reserve(ids.size());
+  for (TxId id : ids) {
+    by_shard.emplace_back(std::hash<TxId>{}(id) % index_shards_.size(), id);
+  }
+  std::sort(by_shard.begin(), by_shard.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::size_t i = 0;
+  while (i < by_shard.size()) {
+    const std::size_t shard_idx = by_shard[i].first;
+    auto& shard = *index_shards_[shard_idx];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (; i < by_shard.size() && by_shard[i].first == shard_idx; ++i) {
+      shard.map[by_shard[i].second].push_back(IndexRef{entry, version_id});
+    }
+  }
 }
 
-void MVStore::remove_tx(TxId tx) {
+void MVStore::erase_tx_from_chain(Entry& e, TxId tx) {
+  e.latch.lock();
+  for (auto& v : e.chain.versions()) v.access_set_erase(tx);
+  e.latch.unlock();
+}
+
+void MVStore::remove_tx(TxId tx, std::span<const Key> read_keys) {
   note_removed(tx);
+  // The transaction's own visible-read traces: erase through its batched
+  // read-key list (flushed once per transaction by the Remove sender).
+  for (Key k : read_keys) {
+    Entry* e = find_entry(k);
+    if (e != nullptr) erase_tx_from_chain(*e, tx);
+  }
+  // Ids stamped onto other keys by committing writers (Alg. 5 line 19):
+  // the RO client cannot know those locations, so the reverse index does.
   std::vector<IndexRef> refs;
   {
     auto& shard = *index_shards_[std::hash<TxId>{}(tx) % index_shards_.size()];
@@ -149,13 +254,16 @@ void MVStore::remove_tx(TxId tx) {
     shard.map.erase(it);
   }
   for (const IndexRef& ref : refs) {
-    std::lock_guard<std::mutex> latch(ref.entry->latch);
+    // Duplicate refs for the same version (or a version erased by both the
+    // key-list pass and this one) degrade to no-op erases.
+    ref.entry->latch.lock();
     for (auto& v : ref.entry->chain.versions()) {
       if (v.id == ref.version_id) {
         v.access_set_erase(tx);
         break;
       }
     }
+    ref.entry->latch.unlock();
   }
 }
 
@@ -164,25 +272,32 @@ std::size_t MVStore::access_set_footprint() const {
   for (const auto& shard : map_shards_) {
     std::shared_lock<std::shared_mutex> lock(shard->mu);
     for (const auto& [key, entry] : shard->map) {
-      std::lock_guard<std::mutex> latch(entry->latch);
+      entry->latch.lock_shared();
       for (const auto& v : entry->chain.versions()) n += v.access_set.size();
+      entry->latch.unlock_shared();
     }
   }
   return n;
 }
 
+MVStore::RemovedStripe& MVStore::removed_stripe(TxId tx) const {
+  return removed_[std::hash<TxId>{}(tx) % kRemovedStripes];
+}
+
 bool MVStore::recently_removed(TxId tx) const {
-  std::lock_guard<std::mutex> lock(removed_mu_);
-  return removed_set_.count(tx) > 0;
+  RemovedStripe& stripe = removed_stripe(tx);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  return stripe.set.count(tx) > 0;
 }
 
 void MVStore::note_removed(TxId tx) {
-  std::lock_guard<std::mutex> lock(removed_mu_);
-  if (removed_set_.insert(tx).second) {
-    removed_ring_.push_back(tx);
-    if (removed_ring_.size() > kRemovedRing) {
-      removed_set_.erase(removed_ring_.front());
-      removed_ring_.pop_front();
+  RemovedStripe& stripe = removed_stripe(tx);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  if (stripe.set.insert(tx).second) {
+    stripe.ring.push_back(tx);
+    if (stripe.ring.size() > removed_stripe_cap_) {
+      stripe.set.erase(stripe.ring.front());
+      stripe.ring.pop_front();
     }
   }
 }

@@ -3,18 +3,30 @@
 // O(entries-for-this-tx) instead of O(store).
 //
 // Synchronization layers, innermost to outermost:
-//   1. shard maps (shared_mutex)     - key lookup / creation;
-//   2. per-key latch (Entry::latch)  - chain and VAS mutation;
-//   3. LockTable (owned by the node) - transactional isolation windows.
+//   1. shard maps (shared_mutex)       - key lookup / creation; a per-thread
+//      resolved-Entry cache short-circuits repeat lookups (entries are
+//      immortal for the store's lifetime, so cached pointers never dangle);
+//   2. per-key latch (EntryLatch)      - reader-writer: chain/VAS mutation
+//      takes it exclusive, chain-scanning reads take it shared, and
+//      prepare-path validation usually skips it entirely via the per-entry
+//      seqlock snapshot of the latest version (LatestSnap);
+//   3. LockTable (owned by the node)   - transactional isolation windows.
 // The reverse index has its own shards and is never held together with a
 // key latch (registrations are applied after the latch is released), so the
-// store is free of lock-order cycles.
+// store is free of lock-order cycles. The reverse index only tracks ids
+// stamped by committing update transactions (Alg. 5 line 19) — a read-only
+// transaction's own registrations are deregistered through the batched
+// key list its Remove carries (one flush per transaction, not one index
+// lock per read).
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <span>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <deque>
@@ -24,9 +36,117 @@
 
 namespace fwkv::store {
 
+/// Per-key reader-writer spin latch (4 bytes, no futex on the fast path).
+/// Chain critical sections are tens of nanoseconds, so contended waiters
+/// spin briefly and then yield; shared mode lets concurrent readers of a
+/// hot key proceed without serializing (a std::mutex would).
+class EntryLatch {
+ public:
+  void lock() {
+    // Claim the writer bit first (stops new readers), then drain readers.
+    std::uint32_t s = state_.load(std::memory_order_relaxed);
+    int spins = 0;
+    for (;;) {
+      if ((s & kWriter) == 0) {
+        if (state_.compare_exchange_weak(s, s | kWriter,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
+          break;
+        }
+      } else {
+        backoff(spins);
+        s = state_.load(std::memory_order_relaxed);
+      }
+    }
+    spins = 0;
+    while (state_.load(std::memory_order_acquire) != kWriter) backoff(spins);
+  }
+
+  void unlock() { state_.store(0, std::memory_order_release); }
+
+  void lock_shared() {
+    std::uint32_t s = state_.load(std::memory_order_relaxed);
+    int spins = 0;
+    for (;;) {
+      if ((s & kWriter) == 0) {
+        if (state_.compare_exchange_weak(s, s + kReader,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
+          return;
+        }
+      } else {
+        backoff(spins);
+        s = state_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  void unlock_shared() { state_.fetch_sub(kReader, std::memory_order_release); }
+
+ private:
+  static constexpr std::uint32_t kWriter = 1u;
+  static constexpr std::uint32_t kReader = 2u;
+
+  static void backoff(int& spins) {
+    // This simulator regularly runs more lanes than cores; yield early so a
+    // descheduled latch holder gets CPU time instead of being spun against.
+    if (++spins > 8) std::this_thread::yield();
+  }
+
+  std::atomic<std::uint32_t> state_{0};
+};
+
+/// Seqlock-published snapshot of the facts validation needs about a key's
+/// latest version. All fields are atomics (relaxed accesses bracketed by the
+/// sequence counter), so the lock-free read lane is data-race-free by
+/// construction — ThreadSanitizer-clean, not just "probably fine".
+/// id == 0 means "no version installed yet" (version ids start at 1).
+struct LatestSnap {
+  std::atomic<std::uint64_t> seq{0};  // even = stable, odd = write in flight
+  std::atomic<VersionId> id{0};
+  std::atomic<NodeId> origin{0};
+  std::atomic<SeqNo> vc_origin{0};  // latest.vc[latest.origin]
+
+  /// Writer side; callers hold the entry latch exclusive, so writers never
+  /// race each other.
+  void publish(VersionId id_in, NodeId origin_in, SeqNo vc_origin_in) {
+    const std::uint64_t s = seq.load(std::memory_order_relaxed);
+    seq.store(s + 1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    id.store(id_in, std::memory_order_relaxed);
+    origin.store(origin_in, std::memory_order_relaxed);
+    vc_origin.store(vc_origin_in, std::memory_order_relaxed);
+    seq.store(s + 2, std::memory_order_release);
+  }
+
+  /// Reader side: false if a concurrent publish kept the snapshot unstable
+  /// (caller falls back to the latched path).
+  bool try_read(VersionId& id_out, NodeId& origin_out,
+                SeqNo& vc_origin_out) const {
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      const std::uint64_t s1 = seq.load(std::memory_order_acquire);
+      if (s1 & 1) continue;
+      id_out = id.load(std::memory_order_relaxed);
+      origin_out = origin.load(std::memory_order_relaxed);
+      vc_origin_out = vc_origin.load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (seq.load(std::memory_order_relaxed) == s1) return true;
+    }
+    return false;
+  }
+};
+
 class MVStore {
  public:
-  explicit MVStore(std::size_t shards = 64);
+  /// Transactions whose Remove already ran: late collected-set stamping for
+  /// them is suppressed so their ids cannot leak into new versions forever.
+  /// The memory is a ring (total capacity across stripes); overflowing it
+  /// forgets the oldest finished transactions.
+  static constexpr std::size_t kRemovedRing = 1 << 16;
+
+  explicit MVStore(std::size_t shards = 64,
+                   std::size_t removed_capacity = kRemovedRing);
+  ~MVStore();
 
   /// Bulk-load path: install an initial version with an all-zero commit
   /// clock (visible to every snapshot).
@@ -36,7 +156,8 @@ class MVStore {
   std::size_t key_count() const;
 
   /// FW-KV read-only rule; registers `reader` in the selected version's
-  /// access set and in the reverse index.
+  /// access set. Deregistration is the caller's duty: the finished
+  /// transaction's Remove must carry the keys it read here (remove_tx).
   ReadResult read_read_only(Key key, const VectorClock& tvc,
                             const std::vector<bool>& has_read, TxId reader);
 
@@ -49,10 +170,13 @@ class MVStore {
   ReadResult read_walter(Key key, const VectorClock& tvc) const;
 
   /// Alg. 5 validate() over one written key (clock rule, blind writes).
+  /// Served from the seqlock snapshot when stable; latch-free in the common
+  /// case.
   bool validate_key(Key key, const VectorClock& tvc) const;
 
   /// Validation by version identity for read-modify-write keys: true iff
-  /// the latest version is still the one the transaction observed.
+  /// the latest version is still the one the transaction observed. Also
+  /// seqlock-served.
   bool validate_key_version(Key key, VersionId observed) const;
 
   /// Alg. 5 lines 8-10: union of access sets across the written keys.
@@ -65,24 +189,33 @@ class MVStore {
                NodeId origin, SeqNo seq, std::span<const TxId> collected);
 
   /// Alg. 6 lines 5-10: erase `tx` from every access set on this node.
-  void remove_tx(TxId tx);
+  /// `read_keys` is the transaction's batched registration buffer (the keys
+  /// it read here); ids stamped onto other keys by committing writers are
+  /// found through the reverse index.
+  void remove_tx(TxId tx, std::span<const Key> read_keys);
+  void remove_tx(TxId tx) { remove_tx(tx, std::span<const Key>{}); }
 
   /// Sum of access-set sizes across the node (space-overhead metric, §5.1).
   std::size_t access_set_footprint() const;
 
-  /// Test/example helper: run `fn` with the key's chain latched.
+  /// Introspection (tests): is late stamping of `tx` currently suppressed?
+  bool recently_removed(TxId tx) const;
+
+  /// Test/example helper: run `fn` with the key's chain latched exclusive.
   template <typename Fn>
   bool with_chain(Key key, Fn&& fn) {
     Entry* e = find_entry(key);
     if (e == nullptr) return false;
-    std::lock_guard<std::mutex> latch(e->latch);
+    e->latch.lock();
     fn(e->chain);
+    e->latch.unlock();
     return true;
   }
 
  private:
   struct Entry {
-    std::mutex latch;
+    mutable EntryLatch latch;
+    LatestSnap latest;
     VersionChain chain;
   };
   struct MapShard {
@@ -90,7 +223,7 @@ class MVStore {
     std::unordered_map<Key, std::unique_ptr<Entry>> map;
   };
 
-  /// Where a transaction's id sits: which entry and which version id.
+  /// Where a stamped transaction id sits: which entry and which version id.
   struct IndexRef {
     Entry* entry;
     VersionId version_id;
@@ -100,21 +233,36 @@ class MVStore {
     std::unordered_map<TxId, std::vector<IndexRef>> map;
   };
 
+  /// Striped removed-transaction memory: installs on different stripes
+  /// never serialize (the former single removed_mu_ was taken once per
+  /// collected id on every install).
+  static constexpr std::size_t kRemovedStripes = 16;
+  struct RemovedStripe {
+    mutable std::mutex mu;
+    std::unordered_set<TxId> set;
+    std::deque<TxId> ring;
+  };
+
   Entry* find_entry(Key key) const;
   Entry& get_or_create_entry(Key key);
-  void register_reader(TxId tx, Entry* entry, VersionId version_id);
-  bool recently_removed(TxId tx) const;
+  /// Batch-register stamped ids for one installed version: each index shard
+  /// involved is locked once, not once per id.
+  void register_readers(std::span<const TxId> ids, Entry* entry,
+                        VersionId version_id);
+  RemovedStripe& removed_stripe(TxId tx) const;
   void note_removed(TxId tx);
+  static void erase_tx_from_chain(Entry& e, TxId tx);
+
+  /// Identity for the per-thread resolved-Entry cache; never reused across
+  /// MVStore instances, so a stale slot can never satisfy a lookup against
+  /// a different (or reincarnated) store.
+  const std::uint64_t store_id_;
 
   std::vector<std::unique_ptr<MapShard>> map_shards_;
   std::vector<std::unique_ptr<IndexShard>> index_shards_;
 
-  // Transactions whose Remove already ran: late collected-set stamping for
-  // them is suppressed so their ids cannot leak into new versions forever.
-  static constexpr std::size_t kRemovedRing = 1 << 16;
-  mutable std::mutex removed_mu_;
-  std::unordered_set<TxId> removed_set_;
-  std::deque<TxId> removed_ring_;
+  mutable std::array<RemovedStripe, kRemovedStripes> removed_;
+  std::size_t removed_stripe_cap_;
 };
 
 }  // namespace fwkv::store

@@ -171,12 +171,32 @@ TEST(CodecTest, PropagateRoundTrip) {
 }
 
 TEST(CodecTest, RemoveRoundTrip) {
-  RemoveMessage m{TxId(7, 8, 9), 555};
+  RemoveMessage m{TxId(7, 8, 9), {555, 7, 0xffffffffffffull}};
   auto decoded = decode_message(encode_message(m));
   ASSERT_TRUE(decoded.has_value());
   const auto& r = std::get<RemoveMessage>(*decoded);
   EXPECT_EQ(r.tx, TxId(7, 8, 9));
-  EXPECT_EQ(r.key, 555u);
+  EXPECT_EQ(r.keys, (std::vector<Key>{555, 7, 0xffffffffffffull}));
+}
+
+TEST(CodecTest, RemoveRoundTripEmptyKeyList) {
+  RemoveMessage m{TxId(1, 2, 3), {}};
+  auto decoded = decode_message(encode_message(m));
+  ASSERT_TRUE(decoded.has_value());
+  const auto& r = std::get<RemoveMessage>(*decoded);
+  EXPECT_EQ(r.tx, TxId(1, 2, 3));
+  EXPECT_TRUE(r.keys.empty());
+}
+
+TEST(CodecTest, EncodeIntoReusesBuffer) {
+  RemoveMessage m{TxId(7, 8, 9), {1, 2, 3}};
+  std::vector<std::uint8_t> buf;
+  encode_message_into(m, buf);
+  const auto once = buf;
+  EXPECT_EQ(once, encode_message(m));
+  // Re-encoding into the warmed buffer must not accumulate bytes.
+  encode_message_into(m, buf);
+  EXPECT_EQ(buf, once);
 }
 
 TEST(CodecTest, DecideAckRoundTrip) {

@@ -44,19 +44,19 @@ TEST(MVStoreTest, ReadOnlyReadRegistersAndRemoveErases) {
   ASSERT_EQ(collected.size(), 1u);
   EXPECT_EQ(collected[0], kRo1);
 
-  store.remove_tx(kRo1);
+  store.remove_tx(kRo1, std::vector<Key>{1});
   collected.clear();
   store.collect_access_sets(std::vector<Key>{1}, collected);
   EXPECT_TRUE(collected.empty());
 }
 
-TEST(MVStoreTest, RemoveCleansEveryKeyOnTheNode) {
+TEST(MVStoreTest, RemoveCleansEveryListedKey) {
   MVStore store;
   store.load(1, "a", kNodes);
   store.load(2, "b", kNodes);
   store.read_read_only(1, zero(), no_mask(), kRo1);
   store.read_read_only(2, zero(), no_mask(), kRo1);
-  store.remove_tx(kRo1);
+  store.remove_tx(kRo1, std::vector<Key>{1, 2});
   std::vector<TxId> collected;
   store.collect_access_sets(std::vector<Key>{1, 2}, collected);
   EXPECT_TRUE(collected.empty());
@@ -67,7 +67,7 @@ TEST(MVStoreTest, RemoveOnlyTargetsTheGivenTx) {
   store.load(1, "a", kNodes);
   store.read_read_only(1, zero(), no_mask(), kRo1);
   store.read_read_only(1, zero(), no_mask(), kRo2);
-  store.remove_tx(kRo1);
+  store.remove_tx(kRo1, std::vector<Key>{1});
   std::vector<TxId> collected;
   store.collect_access_sets(std::vector<Key>{1}, collected);
   ASSERT_EQ(collected.size(), 1u);
@@ -78,8 +78,18 @@ TEST(MVStoreTest, RemoveIsIdempotent) {
   MVStore store;
   store.load(1, "a", kNodes);
   store.read_read_only(1, zero(), no_mask(), kRo1);
-  store.remove_tx(kRo1);
-  store.remove_tx(kRo1);  // second remove must be a no-op
+  store.remove_tx(kRo1, std::vector<Key>{1});
+  store.remove_tx(kRo1, std::vector<Key>{1});  // second remove: no-op
+  EXPECT_EQ(store.access_set_footprint(), 0u);
+}
+
+TEST(MVStoreTest, RemoveToleratesUnknownAndDuplicateKeys) {
+  MVStore store;
+  store.load(1, "a", kNodes);
+  store.read_read_only(1, zero(), no_mask(), kRo1);
+  // Duplicate keys in the batched list and keys this node never saw must
+  // both degrade to no-ops.
+  store.remove_tx(kRo1, std::vector<Key>{1, 1, 424242});
   EXPECT_EQ(store.access_set_footprint(), 0u);
 }
 
@@ -96,7 +106,9 @@ TEST(MVStoreTest, InstallStampsCollectedSet) {
   std::vector<TxId> found;
   store.collect_access_sets(std::vector<Key>{1}, found);
   EXPECT_EQ(found.size(), 2u);
-  // And the stamped ids are removable through the reverse index.
+  // The stamped ids are removable through the reverse index alone — the
+  // finishing transactions never read key 1, so their Removes cannot list
+  // it.
   store.remove_tx(kRo1);
   store.remove_tx(kRo2);
   EXPECT_EQ(store.access_set_footprint(), 0u);
@@ -108,13 +120,134 @@ TEST(MVStoreTest, LateStampingOfRemovedTxIsSuppressed) {
   MVStore store;
   store.load(1, "a", kNodes);
   store.read_read_only(1, zero(), no_mask(), kRo1);
-  store.remove_tx(kRo1);
+  store.remove_tx(kRo1, std::vector<Key>{1});
+  EXPECT_TRUE(store.recently_removed(kRo1));
 
   VectorClock commit_vc(kNodes);
   commit_vc[0] = 1;
   store.install(1, "b", commit_vc, 0, 1, std::vector<TxId>{kRo1});
   EXPECT_EQ(store.access_set_footprint(), 0u)
       << "removed transaction's id leaked into a new version";
+}
+
+TEST(MVStoreTest, RemovedRingOverflowForgetsOldTx) {
+  // The removed-transaction memory is a bounded ring: flooding it past
+  // capacity forgets the oldest finished transaction, after which late
+  // stamping for that id is no longer suppressed — but the leaked id is
+  // still reclaimable through the reverse index with a second Remove.
+  MVStore store(/*shards=*/4, /*removed_capacity=*/16);
+  store.load(1, "a", kNodes);
+  store.remove_tx(kRo1);
+  ASSERT_TRUE(store.recently_removed(kRo1));
+
+  bool forgotten = false;
+  for (std::uint32_t i = 1; i <= 1000 && !forgotten; ++i) {
+    store.remove_tx(TxId(3, 1, i));
+    forgotten = !store.recently_removed(kRo1);
+  }
+  ASSERT_TRUE(forgotten) << "ring overflow never evicted the old tx id";
+
+  VectorClock commit_vc(kNodes);
+  commit_vc[0] = 1;
+  store.install(1, "b", commit_vc, 0, 1, std::vector<TxId>{kRo1});
+  EXPECT_EQ(store.access_set_footprint(), 1u)
+      << "a forgotten tx id must stamp again (suppression window is finite)";
+  store.remove_tx(kRo1);  // reverse index still covers the stamped copy
+  EXPECT_EQ(store.access_set_footprint(), 0u);
+}
+
+TEST(MVStoreTest, DuplicateIndexRefsForSameVersionAreHarmless) {
+  // A tx id can be erased through both the batched key list and a reverse-
+  // index ref pointing at the same version (a read registered in the VAS of
+  // a version that a writer then re-stamped): all paths must tolerate the
+  // double erase.
+  MVStore store;
+  store.load(1, "a", kNodes);
+  store.read_read_only(1, zero(), no_mask(), kRo1);  // VAS of version 1
+
+  VectorClock commit_vc(kNodes);
+  commit_vc[0] = 1;
+  // Stamps kRo1 onto version 2 AND registers an index ref for it.
+  store.install(1, "b", commit_vc, 0, 1, std::vector<TxId>{kRo1});
+  EXPECT_EQ(store.access_set_footprint(), 2u);
+
+  // The key-list pass erases kRo1 from every version of key 1 (both copies);
+  // the index pass then finds version 2 already clean.
+  store.remove_tx(kRo1, std::vector<Key>{1});
+  EXPECT_EQ(store.access_set_footprint(), 0u);
+}
+
+TEST(MVStoreTest, ConcurrentInstallRacingRemove) {
+  // Alg. 5/6 race: Decides stamping a finishing RO transaction's id run
+  // concurrently with its Remove. Whatever interleaving occurs, a final
+  // Remove must leave no trace of the id (either the stamp was suppressed
+  // by the recently-removed window or the reverse index reclaims it).
+  MVStore store;
+  constexpr Key kKeys = 8;
+  for (Key k = 0; k < kKeys; ++k) store.load(k, "v", kNodes);
+  const TxId victim(5, 1, 1);
+  std::atomic<bool> stop{false};
+
+  std::thread installer([&] {
+    SeqNo seq = 0;
+    std::vector<TxId> collected{victim};
+    while (!stop.load()) {
+      VectorClock commit_vc(kNodes);
+      commit_vc[0] = ++seq;
+      store.install(seq % kKeys, "w", commit_vc, 0, seq, collected);
+    }
+  });
+  std::thread remover([&] {
+    while (!stop.load()) {
+      store.remove_tx(victim);
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  stop = true;
+  installer.join();
+  remover.join();
+
+  store.remove_tx(victim);  // reclaim anything the race left behind
+  EXPECT_EQ(store.access_set_footprint(), 0u);
+}
+
+TEST(MVStoreTest, SeqlockValidateMatchesLatchedPathUnderConcurrency) {
+  // The lock-free validate lane must agree with chain state while installs
+  // mutate it. Validity of the *current* clock flips with each install, so
+  // check the invariants that hold at all times instead of exact values.
+  MVStore store;
+  store.load(1, "v", kNodes);
+  std::atomic<bool> stop{false};
+  std::atomic<SeqNo> installed{0};
+
+  std::thread installer([&] {
+    SeqNo seq = 0;
+    while (!stop.load()) {
+      VectorClock commit_vc(kNodes);
+      commit_vc[0] = ++seq;
+      store.install(1, "w", commit_vc, 0, seq, {});
+      installed.store(seq);
+    }
+  });
+  std::thread validator([&] {
+    VectorClock all_ahead(kNodes);
+    all_ahead[0] = 1u << 30;
+    VectorClock stale(kNodes);  // covers only the preloaded version
+    while (!stop.load()) {
+      EXPECT_TRUE(store.validate_key(1, all_ahead));
+      if (installed.load() > 0) {
+        // At least one install happened: the latest version's clock entry
+        // is beyond the stale snapshot.
+        EXPECT_FALSE(store.validate_key(1, stale));
+        EXPECT_FALSE(store.validate_key_version(1, 1));
+      }
+      EXPECT_FALSE(store.validate_key_version(1, 0));
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  stop = true;
+  installer.join();
+  validator.join();
 }
 
 TEST(MVStoreTest, InstallCreatesMissingKey) {
@@ -173,6 +306,8 @@ TEST(MVStoreTest, ConcurrentReadersAndRemovers) {
   for (Key k = 0; k < 16; ++k) store.load(k, "v", kNodes);
   std::atomic<bool> stop{false};
   std::vector<std::thread> threads;
+  std::vector<Key> all_keys;
+  for (Key k = 0; k < 16; ++k) all_keys.push_back(k);
   for (int t = 0; t < 4; ++t) {
     threads.emplace_back([&, t] {
       std::uint32_t seq = 0;
@@ -181,7 +316,7 @@ TEST(MVStoreTest, ConcurrentReadersAndRemovers) {
         for (Key k = 0; k < 16; ++k) {
           store.read_read_only(k, zero(), no_mask(), me);
         }
-        store.remove_tx(me);
+        store.remove_tx(me, all_keys);
       }
     });
   }

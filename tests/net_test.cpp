@@ -165,7 +165,7 @@ TEST(SimNetworkTest, DeliversOneWayMessages) {
   net.register_endpoint(0, &a);
   net.register_endpoint(1, &b);
 
-  net.send(0, 1, RemoveMessage{TxId(1, 1, 1), 5});
+  net.send(0, 1, RemoveMessage{TxId(1, 1, 1), {5}});
   ASSERT_TRUE(net.wait_quiescent(1s));
   EXPECT_EQ(b.received_.load(), 1);
   EXPECT_EQ(a.received_.load(), 0);
@@ -259,8 +259,8 @@ TEST(SimNetworkTest, MessageCountersByType) {
   net.register_endpoint(0, &a);
   net.register_endpoint(1, &b);
 
-  net.send(0, 1, RemoveMessage{TxId(1, 1, 1), 1});
-  net.send(0, 1, RemoveMessage{TxId(1, 1, 2), 2});
+  net.send(0, 1, RemoveMessage{TxId(1, 1, 1), {1}});
+  net.send(0, 1, RemoveMessage{TxId(1, 1, 2), {2}});
   net.send(0, 1, PropagateMessage{0, 1, 1});
   ASSERT_TRUE(net.wait_quiescent(1s));
   EXPECT_EQ(net.messages_sent(MessageType::kRemove), 2u);
@@ -277,7 +277,7 @@ TEST(SimNetworkTest, SerializationModeCountsBytes) {
   net.register_endpoint(0, &a);
   net.register_endpoint(1, &b);
 
-  net.send(0, 1, RemoveMessage{TxId(1, 1, 1), 1});
+  net.send(0, 1, RemoveMessage{TxId(1, 1, 1), {1}});
   ASSERT_TRUE(net.wait_quiescent(1s));
   EXPECT_GT(net.bytes_sent(), 0u);
   EXPECT_EQ(b.received_.load(), 1);
@@ -297,7 +297,7 @@ TEST(SimNetworkTest, SendHookObservesMessages) {
     EXPECT_EQ(type_of(m), MessageType::kRemove);
     hooked.fetch_add(1);
   });
-  net.send(0, 1, RemoveMessage{TxId(1, 1, 1), 1});
+  net.send(0, 1, RemoveMessage{TxId(1, 1, 1), {1}});
   ASSERT_TRUE(net.wait_quiescent(1s));
   EXPECT_EQ(hooked.load(), 1);
 }
