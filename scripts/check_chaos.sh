@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Build with ThreadSanitizer and run the chaos-labelled test suite: the
+# seed-parameterized fault-injection property tests (psi_history_chaos_test,
+# invariant_chaos_test — 8 fixed seeds x 3 protocols at 5% drop+dup+reorder
+# plus healing partitions) and the deterministic recovery scenarios
+# (fault_recovery_test).
+#
+# TSan matters here more than anywhere: fault injection drives the
+# retry/dedup/gap-repair paths that never run on a reliable network, and
+# those paths race against the ordinary fast path by design. Any TSan
+# report fails the run. A failing seed is printed in the assertion message
+# ("reproduce: FaultPlan::uniform(<seed>, ...)").
+#
+# Usage: scripts/check_chaos.sh [extra ctest args, e.g. -R ChaosHistory]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build-tsan
+JOBS=$(nproc)
+
+cmake -B "$BUILD_DIR" -S . \
+  -DFWKV_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j"$JOBS"
+
+export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
+ctest --test-dir "$BUILD_DIR" -L chaos --output-on-failure -j"$JOBS" "$@"

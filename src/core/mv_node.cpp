@@ -23,6 +23,7 @@ MvNodeBase::MvNodeBase(NodeId id, ClusterContext& ctx)
     : KvNode(id, ctx),
       site_vc_(ctx.num_nodes),
       pending_(ctx.num_nodes),
+      gap_armed_(ctx.num_nodes, 0),
       next_unsent_(ctx.num_nodes, 1) {
   // Kick off the periodic propagation flush (Walter propagates outside the
   // transaction critical path). The task re-arms itself on the timer.
@@ -62,8 +63,18 @@ std::optional<Value> MvNodeBase::read(Transaction& tx, Key key) {
   ReadRequest req;
   req.tx = descriptor(tx);
   req.key = key;
-  auto call = ctx_.network->send_request(id_, target, std::move(req));
-  auto reply = call.await(ctx_.config.rpc_timeout);
+  // Reads are side-effect-free on the transaction's snapshot until the
+  // reply is processed, so a lost request/reply is simply retried. On a
+  // reliable network the first attempt always answers.
+  const int attempts = ctx_.network->faults_active() ? 3 : 1;
+  std::optional<Message> reply;
+  for (int a = 0; a < attempts && !reply.has_value(); ++a) {
+    auto call = attempts == 1
+                    ? ctx_.network->send_request(id_, target, std::move(req))
+                    : ctx_.network->send_request(id_, target, req);
+    reply = call.await(ctx_.config.rpc_timeout);
+    if (!reply.has_value()) ctx_.network->cancel_rpc(call);
+  }
   if (!reply.has_value()) return std::nullopt;  // unreachable in practice
   auto& rr = std::get<ReadReturn>(*reply);
   if (!rr.found) return std::nullopt;
@@ -123,8 +134,10 @@ bool MvNodeBase::commit(Transaction& tx) {
     by_site[ctx_.mapper->node_for(key)].push_back(WriteEntry{key, value});
   }
 
+  const bool chaos = ctx_.network->faults_active();
   std::vector<net::RpcCall> calls;
   std::vector<NodeId> participants;
+  std::vector<PrepareRequest> preps;  // retained for retries under faults
   calls.reserve(by_site.size());
   for (auto& [site, writes] : by_site) {
     PrepareRequest prep;
@@ -140,20 +153,57 @@ bool MvNodeBase::commit(Transaction& tx) {
       }
     }
     participants.push_back(site);
+    if (chaos) preps.push_back(prep);
     calls.push_back(ctx_.network->send_request(id_, site, std::move(prep)));
+  }
+
+  std::vector<std::optional<VoteReply>> votes(calls.size());
+  if (!chaos) {
+    for (std::size_t i = 0; i < calls.size(); ++i) {
+      if (auto reply = calls[i].await(ctx_.config.rpc_timeout)) {
+        votes[i] = std::get<VoteReply>(std::move(*reply));
+      }
+      // keep draining votes so every participant gets a Decide
+    }
+  } else {
+    // Bounded exponential backoff: attempt k waits prepare_timeout * 2^k,
+    // then re-sends the Prepare to every participant still missing a vote.
+    // Participants deduplicate by tx id and re-vote idempotently, so a
+    // retry racing its original is harmless. After the last attempt the
+    // transaction timeout-aborts and the abort Decide below releases any
+    // participant locks.
+    for (std::uint32_t attempt = 0; attempt < ctx_.config.prepare_attempts;
+         ++attempt) {
+      const auto wait = ctx_.config.prepare_timeout * (1u << attempt);
+      bool all = true;
+      for (std::size_t i = 0; i < calls.size(); ++i) {
+        if (votes[i].has_value()) continue;
+        if (auto reply = calls[i].await(wait)) {
+          votes[i] = std::get<VoteReply>(std::move(*reply));
+        } else {
+          ctx_.network->cancel_rpc(calls[i]);
+          all = false;
+        }
+      }
+      if (all || attempt + 1 == ctx_.config.prepare_attempts) break;
+      for (std::size_t i = 0; i < calls.size(); ++i) {
+        if (votes[i].has_value()) continue;
+        stats_.prepare_retries.add();
+        calls[i] = ctx_.network->send_request(id_, participants[i], preps[i]);
+      }
+    }
   }
 
   bool outcome = true;
   AbortReason reason = AbortReason::kNone;
   std::vector<TxId> collected;
-  for (auto& call : calls) {
-    auto reply = call.await(ctx_.config.rpc_timeout);
-    if (!reply.has_value()) {
+  for (const auto& v : votes) {
+    if (!v.has_value()) {
       outcome = false;
       if (reason == AbortReason::kNone) reason = AbortReason::kVoteTimeout;
-      continue;  // keep draining votes so every participant gets a Decide
+      continue;
     }
-    const auto& vote = std::get<VoteReply>(*reply);
+    const VoteReply& vote = *v;
     if (!vote.ok) {
       outcome = false;
       if (reason == AbortReason::kNone) {
@@ -202,7 +252,7 @@ bool MvNodeBase::commit(Transaction& tx) {
   // Alg. 4 line 26: Decide to the participants plus ourselves (the
   // coordinator must advance its own siteVC entry in seq order too).
   bool self_is_participant = by_site.count(id_) > 0;
-  for (NodeId site : participants) {
+  auto make_decide = [&](NodeId site) {
     DecideMessage d;
     d.tx = tx.id();
     d.outcome = outcome;
@@ -211,7 +261,58 @@ bool MvNodeBase::commit(Transaction& tx) {
     d.commit_vc = commit_vc;
     d.writes = by_site[site];
     d.collected_set = collected;
-    ctx_.network->send(id_, site, std::move(d));
+    return d;
+  };
+  if (chaos && outcome) {
+    // Retain the per-participant Decide payloads on the commit record so a
+    // lost Decide can be replayed when the participant gap-requests it.
+    std::lock_guard<std::mutex> lock(site_mu_);
+    if (seq >= commit_log_base_) {
+      auto& rec = commit_log_[seq - commit_log_base_];
+      for (NodeId site : participants) {
+        if (site != id_) rec.decide_payloads.emplace_back(site, make_decide(site));
+      }
+    }
+  }
+  if (!chaos) {
+    for (NodeId site : participants) {
+      ctx_.network->send(id_, site, make_decide(site));
+    }
+  } else {
+    // Acked decides with bounded-backoff retries: a lost commit Decide
+    // would leave the participant's write locks held until gap repair; a
+    // lost abort Decide would leave them held forever (an aborted tx has no
+    // seq, so no Propagate or ResendRequest ever covers it). The ack means
+    // "received" — application may still be buffered behind a seq gap.
+    std::vector<NodeId> unacked;
+    std::vector<net::RpcCall> acks;
+    for (NodeId site : participants) {
+      if (site == id_) {
+        ctx_.network->send(id_, site, make_decide(site));  // loopback
+        continue;
+      }
+      unacked.push_back(site);
+      acks.push_back(ctx_.network->send_request(id_, site, make_decide(site)));
+    }
+    for (std::uint32_t attempt = 0;
+         attempt < ctx_.config.decide_attempts && !unacked.empty();
+         ++attempt) {
+      const auto wait = ctx_.config.decide_ack_timeout * (1u << attempt);
+      std::vector<NodeId> still;
+      std::vector<net::RpcCall> still_calls;
+      for (std::size_t i = 0; i < acks.size(); ++i) {
+        if (acks[i].await(wait).has_value()) continue;
+        ctx_.network->cancel_rpc(acks[i]);
+        if (attempt + 1 < ctx_.config.decide_attempts) {
+          stats_.decide_retries.add();
+          still.push_back(unacked[i]);
+          still_calls.push_back(
+              ctx_.network->send_request(id_, unacked[i], make_decide(unacked[i])));
+        }
+      }
+      unacked = std::move(still);
+      acks = std::move(still_calls);
+    }
   }
   if (!self_is_participant && outcome) {
     DecideMessage d;
@@ -268,6 +369,8 @@ void MvNodeBase::handle_message(Message msg, NodeId /*from*/) {
           on_propagate(m);
         } else if constexpr (std::is_same_v<T, RemoveMessage>) {
           on_remove(m);
+        } else if constexpr (std::is_same_v<T, net::ResendRequest>) {
+          on_resend_request(m);
         } else {
           assert(false && "replies are routed by the network, not here");
         }
@@ -332,6 +435,49 @@ void MvNodeBase::on_read_request(const ReadRequest& req) {
 }
 
 void MvNodeBase::on_prepare(const PrepareRequest& req) {
+  // Redelivery dedup, keyed by tx id (coordinator retries, duplicated
+  // deliveries, and a pause-deferred abort Decide overtaking its Prepare
+  // must not double-lock or re-lock). Only live once deliveries may have
+  // been disturbed: on a reliable network Prepares are never redelivered,
+  // and a long-lived decided set would misread a recycled tx id (a fresh
+  // session restarting its seq counter) as a stale retransmission.
+  bool revote = false;
+  std::vector<Key> held_keys;
+  if (ctx_.network->deliveries_disturbed()) {
+    std::lock_guard<std::mutex> lock(prepared_mu_);
+    if (decided_.count(req.tx) != 0) {
+      // Stale retransmission: the decision already came and went. Locking
+      // now would hold the keys forever (nothing will decide this tx
+      // again), so drop it; no coordinator is waiting for this vote.
+      stats_.dup_drops.add();
+      return;
+    }
+    if (preparing_.count(req.tx) != 0) {
+      // A concurrent duplicate is mid-prepare on another handler thread;
+      // that handler's vote (or the coordinator's next retry) answers.
+      stats_.dup_drops.add();
+      return;
+    }
+    auto it = prepared_.find(req.tx);
+    if (it != prepared_.end()) {
+      revote = true;  // already voted yes, locks still held: re-vote
+      held_keys = it->second;
+      stats_.dup_drops.add();
+    } else {
+      preparing_.insert(req.tx);
+    }
+  }
+  if (revote) {
+    VoteReply vote;
+    vote.rpc_id = req.rpc_id;
+    vote.ok = true;
+    if (track_antideps()) {
+      store_.collect_access_sets(held_keys, vote.collected_set);
+    }
+    ctx_.network->send(id_, req.reply_to, std::move(vote));
+    return;
+  }
+
   // Alg. 5 lines 1-13.
   std::vector<Key> keys;
   keys.reserve(req.writes.size());
@@ -344,6 +490,8 @@ void MvNodeBase::on_prepare(const PrepareRequest& req) {
   if (!locks_.lock_all_exclusive(keys, req.tx, ctx_.config.lock_timeout)) {
     vote.ok = false;
     vote.fail_reason = VoteFail::kLock;
+    std::lock_guard<std::mutex> lock(prepared_mu_);
+    preparing_.erase(req.tx);
   } else {
     bool valid = true;
     for (Key k : keys) {
@@ -368,6 +516,8 @@ void MvNodeBase::on_prepare(const PrepareRequest& req) {
       locks_.unlock_all_exclusive(keys, req.tx);
       vote.ok = false;
       vote.fail_reason = VoteFail::kValidation;
+      std::lock_guard<std::mutex> lock(prepared_mu_);
+      preparing_.erase(req.tx);
     } else {
       vote.ok = true;
       if (track_antideps()) {
@@ -375,14 +525,36 @@ void MvNodeBase::on_prepare(const PrepareRequest& req) {
         // anti-dependency with this writer.
         store_.collect_access_sets(keys, vote.collected_set);
       }
-      std::lock_guard<std::mutex> lock(prepared_mu_);
-      prepared_[req.tx] = std::move(keys);
+      bool decided_meanwhile = false;
+      {
+        std::lock_guard<std::mutex> lock(prepared_mu_);
+        preparing_.erase(req.tx);
+        if (decided_.count(req.tx) != 0) {
+          decided_meanwhile = true;
+        } else {
+          prepared_[req.tx] = std::move(keys);
+        }
+      }
+      if (decided_meanwhile) {
+        // A (necessarily abort) Decide raced past while we validated:
+        // release immediately — nothing will decide this tx again.
+        locks_.unlock_all_exclusive(keys, req.tx);
+        vote.ok = false;
+        vote.fail_reason = VoteFail::kLock;
+      }
     }
   }
   ctx_.network->send(id_, req.reply_to, std::move(vote));
 }
 
 void MvNodeBase::on_decide(DecideMessage&& m) {
+  // Acknowledge receipt when the coordinator asked for it (fault-injection
+  // runs): application may still be buffered behind a seq gap, but gap
+  // repair guarantees it eventually happens, so "received" is enough for
+  // the coordinator to stop retrying.
+  if (m.rpc_id != 0) {
+    ctx_.network->send(id_, m.reply_to, net::DecideAck{m.rpc_id});
+  }
   // Alg. 5 lines 14-26.
   if (!m.outcome) {
     release_prepared(m.tx);
@@ -393,7 +565,7 @@ void MvNodeBase::on_decide(DecideMessage&& m) {
     apply_decide_locked(m);
     drain_pending_locked(m.origin);
   } else if (site_vc_[m.origin] >= m.seq_no) {
-    // Duplicate delivery; already applied.
+    stats_.dup_drops.add();  // redelivery; already applied
   } else {
     // "wait until siteVC_i[j] = T.seqNo - 1" — buffered, not blocked.
     const NodeId origin = m.origin;
@@ -401,9 +573,15 @@ void MvNodeBase::on_decide(DecideMessage&& m) {
     PendingEvent ev;
     ev.is_decide = true;
     ev.decide = std::move(m);
-    pending_[origin].emplace(seq, std::move(ev));
-    pending_count_.fetch_add(1, std::memory_order_release);
-    stats_.events_buffered.add();
+    const bool inserted =
+        pending_[origin].emplace(seq, std::move(ev)).second;
+    if (inserted) {
+      pending_count_.fetch_add(1, std::memory_order_release);
+      stats_.events_buffered.add();
+      if (ctx_.network->faults_active()) arm_gap_watch_locked(origin);
+    } else {
+      stats_.dup_drops.add();  // redelivery of an already-buffered decide
+    }
   }
 }
 
@@ -423,7 +601,10 @@ void MvNodeBase::on_propagate(const PropagateMessage& m) {
   // siteVC has reached from_seq - 1 (no seq in (from_seq, to_seq] carries
   // a Decide for this node, so the whole range applies atomically).
   std::lock_guard<std::mutex> lock(site_mu_);
-  if (m.to_seq <= site_vc_[m.origin]) return;  // duplicate
+  if (m.to_seq <= site_vc_[m.origin]) {
+    stats_.dup_drops.add();  // redelivery; fully covered already
+    return;
+  }
   if (m.from_seq <= site_vc_[m.origin] + 1) {
     site_vc_[m.origin] = m.to_seq;
     stats_.propagates_applied.add();
@@ -431,25 +612,45 @@ void MvNodeBase::on_propagate(const PropagateMessage& m) {
   } else {
     PendingEvent ev;
     ev.propagate = m;
-    pending_[m.origin].emplace(m.from_seq, std::move(ev));
-    pending_count_.fetch_add(1, std::memory_order_release);
-    stats_.events_buffered.add();
+    auto [it, inserted] = pending_[m.origin].emplace(m.from_seq, std::move(ev));
+    if (inserted) {
+      pending_count_.fetch_add(1, std::memory_order_release);
+      stats_.events_buffered.add();
+      if (ctx_.network->faults_active()) arm_gap_watch_locked(m.origin);
+    } else if (!it->second.is_decide &&
+               m.to_seq > it->second.propagate.to_seq) {
+      // A replayed range starting at the same seq but reaching further
+      // (the flush advanced before the replay): keep the longer range.
+      it->second.propagate.to_seq = m.to_seq;
+    } else {
+      stats_.dup_drops.add();
+    }
   }
 }
 
 void MvNodeBase::drain_pending_locked(NodeId origin) {
   auto& queue = pending_[origin];
   for (;;) {
-    auto it = queue.find(site_vc_[origin] + 1);
-    if (it == queue.end()) return;
+    // Head entries at or below the cursor are stale redeliveries buffered
+    // before the seq was covered by another path (gap replay); discard
+    // them instead of leaving them to wedge quiescence.
+    auto it = queue.begin();
+    if (it == queue.end() || it->first > site_vc_[origin] + 1) return;
+    const SeqNo at = it->first;
     PendingEvent ev = std::move(it->second);
     queue.erase(it);
     pending_count_.fetch_sub(1, std::memory_order_release);
     if (ev.is_decide) {
-      apply_decide_locked(ev.decide);
-    } else {
+      if (at == site_vc_[origin] + 1) {
+        apply_decide_locked(ev.decide);
+      } else {
+        stats_.dup_drops.add();
+      }
+    } else if (ev.propagate.to_seq > site_vc_[origin]) {
       site_vc_[origin] = ev.propagate.to_seq;
       stats_.propagates_applied.add();
+    } else {
+      stats_.dup_drops.add();
     }
   }
 }
@@ -484,6 +685,13 @@ void MvNodeBase::prune_commit_log_locked() {
     if (d == id_) continue;
     min_unsent = std::min(min_unsent, next_unsent_[d]);
   }
+  if (ctx_.network->faults_active()) {
+    // "Sent" does not mean "delivered" under faults: keep a trailing
+    // horizon of records so ResendRequests can be served.
+    const SeqNo floor =
+        curr_seq_ >= kResendHorizon ? curr_seq_ - kResendHorizon + 1 : 1;
+    min_unsent = std::min(min_unsent, floor);
+  }
   while (commit_log_base_ < min_unsent && !commit_log_.empty()) {
     commit_log_.pop_front();
     ++commit_log_base_;
@@ -511,6 +719,84 @@ void MvNodeBase::flush_propagation() {
   }
 }
 
+void MvNodeBase::arm_gap_watch_locked(NodeId origin) {
+  if (gap_armed_[origin]) return;
+  gap_armed_[origin] = 1;
+  ctx_.network->schedule(ctx_.config.gap_request_delay,
+                         [this, origin] { gap_check(origin); });
+}
+
+void MvNodeBase::gap_check(NodeId origin) {
+  SeqNo from = 0;
+  SeqNo to = 0;
+  {
+    std::lock_guard<std::mutex> lock(site_mu_);
+    gap_armed_[origin] = 0;
+    const auto& queue = pending_[origin];
+    if (queue.empty()) return;  // gap closed on its own
+    from = site_vc_[origin] + 1;
+    to = queue.begin()->first - 1;
+    if (to < from) return;
+    // Re-arm before requesting: the request or its replay can be lost too.
+    arm_gap_watch_locked(origin);
+  }
+  stats_.gap_requests.add();
+  ctx_.network->send(id_, origin, net::ResendRequest{id_, from, to});
+}
+
+void MvNodeBase::on_resend_request(const net::ResendRequest& m) {
+  // Replay the requested seq range from the commit log: retained Decide
+  // payloads for seqs that were decided to the requester, recomputed
+  // Propagate ranges for the rest. Redelivery is safe — application
+  // deduplicates by (origin, seq).
+  std::vector<Message> outs;
+  {
+    std::lock_guard<std::mutex> lock(site_mu_);
+    SeqNo from = m.from_seq;
+    if (from < commit_log_base_) {
+      stats_.resend_misses.add();  // pruned past the resend horizon
+      from = commit_log_base_;
+    }
+    const SeqNo to = std::min(m.to_seq, curr_seq_);
+    SeqNo range_start = 0;
+    for (SeqNo s = from; s <= to; ++s) {
+      const CommitRecord& rec = commit_log_[s - commit_log_base_];
+      const bool is_decide_seq =
+          std::find(rec.decide_dests.begin(), rec.decide_dests.end(),
+                    m.requester) != rec.decide_dests.end();
+      if (is_decide_seq) {
+        if (range_start != 0) {
+          outs.push_back(PropagateMessage{id_, range_start, s - 1});
+          range_start = 0;
+        }
+        const DecideMessage* payload = nullptr;
+        for (const auto& [dest, d] : rec.decide_payloads) {
+          if (dest == m.requester) {
+            payload = &d;
+            break;
+          }
+        }
+        if (payload != nullptr) {
+          DecideMessage copy = *payload;
+          copy.rpc_id = 0;  // replay is fire-and-forget, no ack expected
+          outs.push_back(std::move(copy));
+        } else {
+          stats_.resend_misses.add();  // committed before faults were active
+        }
+      } else if (range_start == 0) {
+        range_start = s;
+      }
+    }
+    if (range_start != 0) {
+      outs.push_back(PropagateMessage{id_, range_start, to});
+    }
+  }
+  stats_.gap_resends.add(outs.size());
+  for (auto& msg : outs) {
+    ctx_.network->send(id_, m.requester, std::move(msg));
+  }
+}
+
 void MvNodeBase::on_remove(const RemoveMessage& m) {
   // Alg. 6 lines 5-10: drop the finished read-only transaction's id from
   // every version-access-set on this node — its own reads via the batched
@@ -519,10 +805,26 @@ void MvNodeBase::on_remove(const RemoveMessage& m) {
   stats_.removes_processed.add();
 }
 
+void MvNodeBase::note_decided_locked(TxId tx) {
+  // Paired with on_prepare's dedup gate: only track decisions once
+  // deliveries may have been disturbed (see there about recycled tx ids).
+  if (!ctx_.network->deliveries_disturbed()) return;
+  if (!decided_.insert(tx).second) return;
+  decided_fifo_.push_back(tx);
+  if (decided_fifo_.size() > kDecidedHorizon) {
+    decided_.erase(decided_fifo_.front());
+    decided_fifo_.pop_front();
+  }
+}
+
 void MvNodeBase::release_prepared(TxId tx) {
   std::vector<Key> keys;
   {
     std::lock_guard<std::mutex> lock(prepared_mu_);
+    // Remember the decision first: a stale retransmitted Prepare for this
+    // tx must never re-lock keys after this point (on_prepare checks
+    // decided_ both before locking and before publishing to prepared_).
+    note_decided_locked(tx);
     auto it = prepared_.find(tx);
     if (it == prepared_.end()) return;
     keys = std::move(it->second);

@@ -15,9 +15,11 @@
 #pragma once
 
 #include <atomic>
+#include <deque>
 #include <map>
 #include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/kv_node.hpp"
@@ -64,6 +66,7 @@ class MvNodeBase : public KvNode {
   void on_decide(net::DecideMessage&& m);
   void on_propagate(const net::PropagateMessage& m);
   void on_remove(const net::RemoveMessage& m);
+  void on_resend_request(const net::ResendRequest& m);
 
   // In-order application machinery. Both require site_mu_ held.
   void apply_decide_locked(net::DecideMessage& m);
@@ -100,6 +103,16 @@ class MvNodeBase : public KvNode {
   std::vector<std::map<SeqNo, PendingEvent>> pending_;
   std::atomic<std::size_t> pending_count_{0};
 
+  // ---- gap repair (fault injection only; guarded by site_mu_) ----
+  //
+  // When an event is buffered out of order and faults are active, a watchdog
+  // fires after gap_request_delay and asks the origin to replay the missing
+  // seq range; it re-arms itself while the gap persists (the ResendRequest
+  // or its replay can be lost too).
+  std::vector<char> gap_armed_;
+  void arm_gap_watch_locked(NodeId origin);
+  void gap_check(NodeId origin);
+
   // ---- outgoing propagation batching (guarded by site_mu_) ----
   //
   // Every local commit seq is delivered to every other node exactly once:
@@ -109,10 +122,16 @@ class MvNodeBase : public KvNode {
   // first seq not yet covered for destination d.
   struct CommitRecord {
     std::vector<NodeId> decide_dests;
+    /// Retained only under an active FaultPlan: the Decide payload per
+    /// participant, so a lost Decide can be replayed for a ResendRequest.
+    std::vector<std::pair<NodeId, net::DecideMessage>> decide_payloads;
   };
   std::deque<CommitRecord> commit_log_;
   SeqNo commit_log_base_ = 1;  // seq of commit_log_.front()
   std::vector<SeqNo> next_unsent_;
+  /// How many trailing commit records are retained for replay under faults
+  /// (without faults, records are pruned as soon as every peer is covered).
+  static constexpr SeqNo kResendHorizon = 4096;
 
   /// Append Propagate ranges for `dest` covering (next_unsent_[dest] ..
   /// curr_seq_] to `out`; advances next_unsent_[dest].
@@ -121,9 +140,21 @@ class MvNodeBase : public KvNode {
   void prune_commit_log_locked();
   void flush_timer_tick();
 
-  // Write-set keys locked at prepare, awaiting the decision.
+  // Write-set keys locked at prepare, awaiting the decision. Redelivered
+  // Prepares are deduplicated here: `preparing_` marks a prepare mid-flight
+  // on another handler thread (a concurrent duplicate is dropped),
+  // `prepared_` marks a yes-vote awaiting its Decide (a duplicate re-votes
+  // yes without re-locking), and `decided_` remembers recently decided
+  // transactions so a stale retransmitted Prepare arriving after the
+  // decision cannot re-lock keys that nothing would ever release.
   std::mutex prepared_mu_;
   std::unordered_map<TxId, std::vector<Key>> prepared_;
+  std::unordered_set<TxId> preparing_;
+  std::unordered_set<TxId> decided_;
+  std::deque<TxId> decided_fifo_;
+  static constexpr std::size_t kDecidedHorizon = 1 << 16;
+  /// Requires prepared_mu_. Bounded-memory insert into the decided set.
+  void note_decided_locked(TxId tx);
 };
 
 /// The paper's contribution: fresh first-reads per site, visible reads with

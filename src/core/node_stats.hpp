@@ -31,6 +31,14 @@ struct NodeStats {
   // for a predecessor — grows when propagation is delayed).
   Counter events_buffered;
 
+  // Fault recovery (all zero on a reliable network).
+  Counter prepare_retries;   // Prepare re-sent after a per-attempt timeout
+  Counter decide_retries;    // acked Decide re-sent after a missing ack
+  Counter dup_drops;         // redelivered messages discarded by dedup
+  Counter gap_requests;      // ResendRequests sent for missing seq ranges
+  Counter gap_resends;       // commit events replayed for a ResendRequest
+  Counter resend_misses;     // requested seqs already pruned from the log
+
   std::uint64_t total_commits() const {
     return ro_commits.get() + update_commits.get();
   }
@@ -55,6 +63,12 @@ struct NodeStats {
     removes_processed.reset();
     decides_applied.reset();
     events_buffered.reset();
+    prepare_retries.reset();
+    decide_retries.reset();
+    dup_drops.reset();
+    gap_requests.reset();
+    gap_resends.reset();
+    resend_misses.reset();
   }
 };
 
@@ -74,6 +88,12 @@ struct NodeStats::Snapshot {
   std::uint64_t removes_processed = 0;
   std::uint64_t decides_applied = 0;
   std::uint64_t events_buffered = 0;
+  std::uint64_t prepare_retries = 0;
+  std::uint64_t decide_retries = 0;
+  std::uint64_t dup_drops = 0;
+  std::uint64_t gap_requests = 0;
+  std::uint64_t gap_resends = 0;
+  std::uint64_t resend_misses = 0;
 
   std::uint64_t total_commits() const { return ro_commits + update_commits; }
   std::uint64_t total_aborts() const {
@@ -109,6 +129,12 @@ struct NodeStats::Snapshot {
     removes_processed += o.removes_processed;
     decides_applied += o.decides_applied;
     events_buffered += o.events_buffered;
+    prepare_retries += o.prepare_retries;
+    decide_retries += o.decide_retries;
+    dup_drops += o.dup_drops;
+    gap_requests += o.gap_requests;
+    gap_resends += o.gap_resends;
+    resend_misses += o.resend_misses;
   }
 };
 
@@ -128,6 +154,12 @@ inline NodeStats::Snapshot NodeStats::snapshot() const {
   s.removes_processed = removes_processed.get();
   s.decides_applied = decides_applied.get();
   s.events_buffered = events_buffered.get();
+  s.prepare_retries = prepare_retries.get();
+  s.decide_retries = decide_retries.get();
+  s.dup_drops = dup_drops.get();
+  s.gap_requests = gap_requests.get();
+  s.gap_resends = gap_resends.get();
+  s.resend_misses = resend_misses.get();
   return s;
 }
 

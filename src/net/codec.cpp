@@ -201,6 +201,11 @@ struct EncodeVisitor {
     for (Key k : m.keys) e.put_u64(k);
   }
   void operator()(const DecideAck& m) const { e.put_u64(m.rpc_id); }
+  void operator()(const ResendRequest& m) const {
+    e.put_u32(m.requester);
+    e.put_u64(m.from_seq);
+    e.put_u64(m.to_seq);
+  }
 };
 
 }  // namespace
@@ -313,6 +318,14 @@ std::optional<Message> decode_message(const std::vector<std::uint8_t>& bytes) {
     case MessageType::kDecideAck: {
       DecideAck m;
       m.rpc_id = d.get_u64();
+      out = m;
+      break;
+    }
+    case MessageType::kResendRequest: {
+      ResendRequest m;
+      m.requester = d.get_u32();
+      m.from_seq = d.get_u64();
+      m.to_seq = d.get_u64();
       out = m;
       break;
     }

@@ -132,9 +132,22 @@ struct RemoveMessage {
   std::vector<Key> keys;
 };
 
+/// Gap repair under lossy delivery (fault-injection hardening; not part of
+/// the paper's reliable-channel model). A receiver that has buffered
+/// commit events ahead of its in-order cursor for `origin`'s site asks the
+/// origin to replay the missing sequence range [from_seq, to_seq]. The
+/// origin re-sends Decides (from its retained commit log) or Propagates for
+/// those seqs; redelivery is safe because application is deduplicated by
+/// (origin, seq).
+struct ResendRequest {
+  NodeId requester = 0;
+  SeqNo from_seq = 0;
+  SeqNo to_seq = 0;
+};
+
 using Message = std::variant<ReadRequest, ReadReturn, PrepareRequest,
                              VoteReply, DecideMessage, PropagateMessage,
-                             RemoveMessage, DecideAck>;
+                             RemoveMessage, DecideAck, ResendRequest>;
 
 /// Stable tags for the codec and for per-class delay/statistics.
 enum class MessageType : std::uint8_t {
@@ -146,8 +159,9 @@ enum class MessageType : std::uint8_t {
   kPropagate = 5,
   kRemove = 6,
   kDecideAck = 7,
+  kResendRequest = 8,
 };
-inline constexpr std::size_t kNumMessageTypes = 8;
+inline constexpr std::size_t kNumMessageTypes = 9;
 
 inline MessageType type_of(const Message& m) {
   return static_cast<MessageType>(m.index());
@@ -171,6 +185,8 @@ inline const char* type_name(MessageType t) {
       return "Remove";
     case MessageType::kDecideAck:
       return "DecideAck";
+    case MessageType::kResendRequest:
+      return "ResendRequest";
   }
   return "?";
 }

@@ -18,12 +18,20 @@ SimNetwork::SimNetwork(std::uint32_t num_nodes, NetConfig config)
     : num_nodes_(num_nodes),
       config_(config),
       propagate_extra_ns_(config.propagate_extra_delay.count()),
-      rpc_shards_(new RpcShard[kRpcShards]) {
+      rpc_shards_(new RpcShard[kRpcShards]),
+      epoch_(std::chrono::steady_clock::now()),
+      pause_until_ns_(new std::atomic<std::int64_t>[num_nodes]) {
   nodes_.resize(num_nodes);
   for (auto& lanes : nodes_) {
     lanes.data = std::make_unique<Executor>(config_.data_threads, "data");
     lanes.control =
         std::make_unique<Executor>(config_.control_threads, "ctrl");
+  }
+  for (std::uint32_t i = 0; i < num_nodes; ++i) {
+    pause_until_ns_[i].store(0, std::memory_order_relaxed);
+  }
+  if (config_.faults.active()) {
+    injector_ = std::make_unique<FaultInjector>(config_.faults, num_nodes);
   }
 }
 
@@ -84,12 +92,56 @@ void SimNetwork::send(NodeId from, NodeId to, Message m) {
     assert(decoded.has_value());
     m = std::move(*decoded);
   }
-  in_flight_.fetch_add(1, std::memory_order_acq_rel);
   // Loopback messages (coordinator to itself, e.g. the self-Decide of
   // Alg. 4 line 26) never hit the wire: this is what makes Walter's
-  // preferred-site fast local commit fast.
-  const auto latency =
+  // preferred-site fast local commit fast. They are also never faulted.
+  auto latency =
       from == to ? std::chrono::nanoseconds(0) : latency_for(m, from, to);
+  if (injector_ && from != to) {
+    const MessageType t = type_of(m);
+    auto d = injector_->decide(from, to, t, elapsed_ns());
+    if (d.drop || d.partition_drop) {
+      note_fault({from, to, t, d.index,
+                  d.partition_drop ? FaultKind::kPartitionDrop
+                                   : FaultKind::kDrop,
+                  0});
+      return;
+    }
+    if (d.duplicate) {
+      note_fault({from, to, t, d.index, FaultKind::kDuplicate,
+                  d.dup_extra_ns});
+      Message copy = m;
+      enqueue(from, to, std::move(copy),
+              latency + std::chrono::nanoseconds(d.dup_extra_ns));
+    }
+    if (d.extra_ns > 0) {
+      note_fault({from, to, t, d.index, FaultKind::kReorder, d.extra_ns});
+      latency += std::chrono::nanoseconds(d.extra_ns);
+    }
+  }
+  enqueue(from, to, std::move(m), latency);
+}
+
+void SimNetwork::enqueue(NodeId from, NodeId to, Message m,
+                         std::chrono::nanoseconds latency) {
+  if (injector_ || any_pause_.load(std::memory_order_relaxed)) {
+    // Pause deferral: a delivery landing inside a pause window of the
+    // destination is pushed to the window's end. All deferred messages of a
+    // link share that deadline, so the DelayQueue's submission-order
+    // tie-break drains the inbox in send order at resume.
+    const std::int64_t deliver_at = elapsed_ns() + latency.count();
+    std::int64_t end = deliver_at;
+    if (injector_) end = injector_->pause_end(to, deliver_at);
+    const std::int64_t runtime_end =
+        pause_until_ns_[to].load(std::memory_order_acquire);
+    if (runtime_end > deliver_at && runtime_end > end) end = runtime_end;
+    if (end > deliver_at) {
+      note_fault({from, to, type_of(m), 0, FaultKind::kPauseDeferral,
+                  end - deliver_at});
+      latency += std::chrono::nanoseconds(end - deliver_at);
+    }
+  }
+  in_flight_.fetch_add(1, std::memory_order_acq_rel);
   if (latency.count() == 0) {
     deliver(from, to, std::move(m));
   } else {
@@ -97,6 +149,44 @@ void SimNetwork::send(NodeId from, NodeId to, Message m) {
       deliver(from, to, std::move(m));
     });
   }
+}
+
+void SimNetwork::pause_node(NodeId node, std::chrono::nanoseconds duration) {
+  assert(node < num_nodes_);
+  const std::int64_t end = elapsed_ns() + duration.count();
+  std::int64_t cur = pause_until_ns_[node].load(std::memory_order_relaxed);
+  while (cur < end && !pause_until_ns_[node].compare_exchange_weak(
+                          cur, end, std::memory_order_release)) {
+  }
+  any_pause_.store(true, std::memory_order_release);
+}
+
+void SimNetwork::cancel_rpc(const RpcCall& call) {
+  if (call.id_ == 0) return;
+  auto& shard = rpc_shards_[call.id_ % kRpcShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.map.erase(call.id_);
+}
+
+std::int64_t SimNetwork::elapsed_ns() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void SimNetwork::note_fault(const FaultEvent& ev) {
+  fault_counts_[static_cast<std::size_t>(ev.kind)].add();
+  std::lock_guard<std::mutex> lock(hook_mu_);
+  if (fault_hook_) fault_hook_(ev);
+}
+
+std::uint64_t SimNetwork::faults_injected(FaultKind k) const {
+  return fault_counts_[static_cast<std::size_t>(k)].get();
+}
+
+void SimNetwork::set_fault_hook(FaultHook hook) {
+  std::lock_guard<std::mutex> lock(hook_mu_);
+  fault_hook_ = std::move(hook);
 }
 
 void SimNetwork::deliver(NodeId from, NodeId to, Message m) {
@@ -136,7 +226,8 @@ void SimNetwork::deliver(NodeId from, NodeId to, Message m) {
   const MessageType t = type_of(m);
   const bool control = t == MessageType::kDecide ||
                        t == MessageType::kPropagate ||
-                       t == MessageType::kRemove;
+                       t == MessageType::kRemove ||
+                       t == MessageType::kResendRequest;
   if (control) {
     // Control handlers (decide/propagate/remove) are non-blocking by
     // design (in-order application is event-driven, Alg. 5 line 16 /

@@ -24,6 +24,7 @@
 #include "common/histogram.hpp"
 #include "net/delay_queue.hpp"
 #include "net/executor.hpp"
+#include "net/fault.hpp"
 #include "net/message.hpp"
 
 namespace fwkv::net {
@@ -49,6 +50,12 @@ struct NetConfig {
   std::size_t data_threads = 3;
   /// Spare worker lane (kept for handlers that must not run inline).
   std::size_t control_threads = 1;
+  /// Deterministic fault injection (chaos testing). The default plan is
+  /// inert, in which case the fault layer is never consulted on the send
+  /// path (no-op guarantee for benchmarks and the existing test suite).
+  /// Loopback (from == to) traffic is never faulted: a node does not lose
+  /// messages to itself.
+  FaultPlan faults;
 };
 
 /// Implemented by protocol nodes; invoked on the destination node's
@@ -101,6 +108,38 @@ class SimNetwork {
   /// Fire-and-forget (Decide, Propagate, Remove, and replies).
   void send(NodeId from, NodeId to, Message m);
 
+  /// Abandon a pending request: the completion slot is removed so a late
+  /// reply is discarded instead of leaking a table entry. Callers use this
+  /// before retrying a timed-out RPC with a fresh id.
+  void cancel_rpc(const RpcCall& call);
+
+  /// True when a FaultPlan is in effect. Protocol nodes gate their
+  /// recovery machinery (acked decides, gap watchdogs, payload retention)
+  /// on this so the fault-free fast path stays untouched.
+  bool faults_active() const { return injector_ != nullptr; }
+
+  /// True once any delivery may have been deferred or lost: an active
+  /// injector, or pause_node having ever been used. Pause deferral can land
+  /// a Prepare and its (timeout-abort) Decide at the same instant on
+  /// different executor lanes, so the tx-id dedup that guards against the
+  /// Decide overtaking the Prepare must be live here too — while the
+  /// retry/backoff machinery stays keyed on faults_active().
+  bool deliveries_disturbed() const {
+    return injector_ != nullptr || any_pause_.load(std::memory_order_relaxed);
+  }
+
+  /// Pause a node at runtime: deliveries to `node` that would land within
+  /// the next `duration` are deferred to the end of the window (inbox
+  /// drains at resume, in per-link order). Usable without a FaultPlan.
+  void pause_node(NodeId node, std::chrono::nanoseconds duration);
+
+  /// Total faults injected so far, by kind.
+  std::uint64_t faults_injected(FaultKind k) const;
+
+  /// Test hook: observe every injected fault (called inline at send time).
+  using FaultHook = std::function<void(const FaultEvent&)>;
+  void set_fault_hook(FaultHook hook);
+
   /// Change the Propagate-delay knob at runtime (delayed-propagate sweeps).
   void set_propagate_extra_delay(std::chrono::nanoseconds d);
 
@@ -131,6 +170,13 @@ class SimNetwork {
 
  private:
   void deliver(NodeId from, NodeId to, Message m);
+  /// Counts the message in flight and hands it to the timer (or delivers
+  /// inline at zero latency). Applies pause-window deferral.
+  void enqueue(NodeId from, NodeId to, Message m,
+               std::chrono::nanoseconds latency);
+  void note_fault(const FaultEvent& ev);
+  /// Nanoseconds since this network was constructed (fault-window clock).
+  std::int64_t elapsed_ns() const;
   /// One full quiescence sweep: no message in flight AND no endpoint with
   /// buffered pending work.
   bool quiet_now() const;
@@ -164,7 +210,17 @@ class SimNetwork {
   Counter bytes_sent_;
   std::atomic<std::uint64_t> jitter_state_{0x9E3779B97F4A7C15ull};
 
+  // Fault layer. injector_ stays null for an inert plan so the send path
+  // pays one branch. pause_until_ns_ holds runtime pause_node() windows;
+  // any_pause_ makes the common no-pause case a relaxed bool load.
+  const std::chrono::steady_clock::time_point epoch_;
+  std::unique_ptr<FaultInjector> injector_;
+  std::unique_ptr<std::atomic<std::int64_t>[]> pause_until_ns_;
+  std::atomic<bool> any_pause_{false};
+  std::array<Counter, kNumFaultKinds> fault_counts_;
+
   SendHook send_hook_;
+  FaultHook fault_hook_;
   mutable std::mutex hook_mu_;
 };
 

@@ -1,6 +1,8 @@
 #include "runtime/report.hpp"
 
 #include <algorithm>
+
+#include "net/network.hpp"
 #include <iomanip>
 #include <ostream>
 #include <sstream>
@@ -50,6 +52,29 @@ std::string Table::fmt(double v, int precision) {
 
 std::string Table::fmt_pct(double fraction, int precision) {
   return fmt(fraction * 100.0, precision) + "%";
+}
+
+Table fault_recovery_table(const NodeStats::Snapshot& merged,
+                           const net::SimNetwork& network) {
+  Table t("fault recovery", {"counter", "count"});
+  auto row = [&](const char* name, std::uint64_t v) {
+    t.add_row({name, std::to_string(v)});
+  };
+  row("net.drops", network.faults_injected(net::FaultKind::kDrop));
+  row("net.partition_drops",
+      network.faults_injected(net::FaultKind::kPartitionDrop));
+  row("net.duplicates", network.faults_injected(net::FaultKind::kDuplicate));
+  row("net.reorders", network.faults_injected(net::FaultKind::kReorder));
+  row("net.pause_deferrals",
+      network.faults_injected(net::FaultKind::kPauseDeferral));
+  row("node.prepare_retries", merged.prepare_retries);
+  row("node.decide_retries", merged.decide_retries);
+  row("node.dup_drops", merged.dup_drops);
+  row("node.gap_requests", merged.gap_requests);
+  row("node.gap_resends", merged.gap_resends);
+  row("node.resend_misses", merged.resend_misses);
+  row("node.timeout_aborts", merged.aborts_vote_timeout);
+  return t;
 }
 
 }  // namespace fwkv::runtime

@@ -6,7 +6,14 @@
 #include <string>
 #include <vector>
 
-namespace fwkv::runtime {
+#include "core/node_stats.hpp"
+
+namespace fwkv {
+namespace net {
+class SimNetwork;
+}
+
+namespace runtime {
 
 class Table {
  public:
@@ -24,4 +31,11 @@ class Table {
   std::vector<std::vector<std::string>> rows_;
 };
 
-}  // namespace fwkv::runtime
+/// Fault-recovery activity of a run: the chaos counters aggregated across
+/// nodes plus the network's injected-fault totals. All-zero rows are the
+/// expected picture on a reliable network.
+Table fault_recovery_table(const NodeStats::Snapshot& merged,
+                           const net::SimNetwork& network);
+
+}  // namespace runtime
+}  // namespace fwkv

@@ -195,7 +195,7 @@ void MVStore::install(Key key, Value value, const VectorClock& commit_vc,
     vid = v.id;
     for (TxId id : collected) {
       if (recently_removed(id)) continue;  // the RO tx already finished
-      if (v.access_set_insert(id)) stamped.push_back(id);
+      if (v.stamp_insert(id)) stamped.push_back(id);
     }
     e.latest.publish(v.id, origin,
                      origin < commit_vc.size() ? commit_vc[origin] : 0);

@@ -27,6 +27,13 @@ struct Version {
   /// update transactions (Alg. 5 line 19). Small in practice (Fig. 6), so a
   /// flat vector beats a node-based set.
   std::vector<TxId> access_set;
+  /// The subset of access_set stamped at install time (Alg. 5 line 19):
+  /// readers with an anti-dependency on the producing transaction, which
+  /// must NOT be served this version. Kept apart from read-time
+  /// registrations because a retried/redelivered read finds its own id
+  /// already registered — that means "already read", not "excluded", and
+  /// serving an older version in that case tears the reader's snapshot.
+  std::vector<TxId> excluded;
   /// Install time; GC never prunes versions younger than the retention
   /// window, so a running transaction's snapshot stays servable.
   std::chrono::steady_clock::time_point created;
@@ -43,12 +50,30 @@ struct Version {
     return true;
   }
 
+  bool excluded_contains(TxId id_in) const {
+    return std::find(excluded.begin(), excluded.end(), id_in) !=
+           excluded.end();
+  }
+
+  /// Install-time stamp: registers the id AND excludes it from visibility.
+  /// Returns true if the id was inserted.
+  bool stamp_insert(TxId id_in) {
+    if (!access_set_insert(id_in)) return false;
+    excluded.push_back(id_in);
+    return true;
+  }
+
   /// Returns true if the id was present and removed.
   bool access_set_erase(TxId id_in) {
     auto it = std::find(access_set.begin(), access_set.end(), id_in);
     if (it == access_set.end()) return false;
     *it = access_set.back();
     access_set.pop_back();
+    auto ex = std::find(excluded.begin(), excluded.end(), id_in);
+    if (ex != excluded.end()) {
+      *ex = excluded.back();
+      excluded.pop_back();
+    }
     return true;
   }
 };

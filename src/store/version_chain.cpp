@@ -46,7 +46,13 @@ ReadResult VersionChain::select_read_only(const VectorClock& tvc,
   const Version* fallback_visible = nullptr;
   for (auto it = versions_.rbegin(); it != versions_.rend(); ++it) {
     if (!it->vc.leq_masked(tvc, has_read)) continue;  // Alg. 3 line 4
-    if (it->access_set_contains(reader)) {            // Alg. 3 lines 5-6
+    // Alg. 3 lines 5-6: skip versions the reader was stamped onto at
+    // install (anti-dependency). A plain read-time registration of our own
+    // id is NOT an exclusion: it means a previous delivery of this same
+    // read (rpc retry, duplicated request) already chose a version — fall
+    // through and serve fresh, which is idempotent because registration
+    // only ever widens future writers' collected sets.
+    if (it->excluded_contains(reader)) {
       if (fallback_visible == nullptr) fallback_visible = &*it;
       continue;
     }
@@ -54,9 +60,10 @@ ReadResult VersionChain::select_read_only(const VectorClock& tvc,
     chosen.access_set_insert(reader);  // Alg. 3 line 8 (visible read)
     return to_result(chosen);
   }
-  // Every visible version already carries the reader's id. This can only
-  // happen when the transaction re-reads a key (the client-side read cache
-  // normally prevents it); the newest such version is the one it read.
+  // Every visible version excludes the reader: its snapshot predates all
+  // of them (only reachable if GC pruned past the snapshot, which the
+  // chain retention bound makes practically impossible). Serve the newest
+  // excluded version as a best effort.
   if (fallback_visible != nullptr) return to_result(*fallback_visible);
   // No version visible at all: only reachable if GC pruned past the
   // snapshot, which the chain bound makes practically impossible. Serve the

@@ -33,8 +33,17 @@ std::optional<Value> TwoPcNode::read(Transaction& tx, Key key) {
   req.tx.id = tx.id();
   req.tx.read_only = tx.read_only();
   req.key = key;
-  auto call = ctx_.network->send_request(id_, target, std::move(req));
-  auto reply = call.await(ctx_.config.rpc_timeout);
+  // Reads are idempotent: under fault injection a lost request or reply is
+  // simply retried (one attempt suffices on a reliable network).
+  const int attempts = ctx_.network->faults_active() ? 3 : 1;
+  std::optional<Message> reply;
+  for (int a = 0; a < attempts && !reply.has_value(); ++a) {
+    auto call = attempts == 1
+                    ? ctx_.network->send_request(id_, target, std::move(req))
+                    : ctx_.network->send_request(id_, target, req);
+    reply = call.await(ctx_.config.rpc_timeout);
+    if (!reply.has_value()) ctx_.network->cancel_rpc(call);
+  }
   if (!reply.has_value()) return std::nullopt;
   auto& rr = std::get<ReadReturn>(*reply);
   if (!rr.found) return std::nullopt;
@@ -69,27 +78,63 @@ bool TwoPcNode::commit(Transaction& tx) {
     return true;
   }
 
+  const bool chaos = ctx_.network->faults_active();
   std::vector<net::RpcCall> calls;
   std::vector<NodeId> participants;
+  std::vector<PrepareRequest> preps;  // retained for retries under faults
   for (auto& [site, work] : by_site) {
     PrepareRequest prep;
     prep.tx = tx.id();
     prep.writes = work.writes;
     prep.reads = work.reads;
     participants.push_back(site);
+    if (chaos) preps.push_back(prep);
     calls.push_back(ctx_.network->send_request(id_, site, std::move(prep)));
+  }
+
+  std::vector<std::optional<VoteReply>> votes(calls.size());
+  if (!chaos) {
+    for (std::size_t i = 0; i < calls.size(); ++i) {
+      if (auto reply = calls[i].await(ctx_.config.rpc_timeout)) {
+        votes[i] = std::get<VoteReply>(std::move(*reply));
+      }
+    }
+  } else {
+    // Bounded exponential backoff re-sends to participants whose vote is
+    // missing; they deduplicate by tx id and re-vote idempotently. After
+    // the last attempt the coordinator timeout-aborts and the abort Decide
+    // below releases any participant locks.
+    for (std::uint32_t attempt = 0; attempt < ctx_.config.prepare_attempts;
+         ++attempt) {
+      const auto wait = ctx_.config.prepare_timeout * (1u << attempt);
+      bool all = true;
+      for (std::size_t i = 0; i < calls.size(); ++i) {
+        if (votes[i].has_value()) continue;
+        if (auto reply = calls[i].await(wait)) {
+          votes[i] = std::get<VoteReply>(std::move(*reply));
+        } else {
+          ctx_.network->cancel_rpc(calls[i]);
+          all = false;
+        }
+      }
+      if (all || attempt + 1 == ctx_.config.prepare_attempts) break;
+      for (std::size_t i = 0; i < calls.size(); ++i) {
+        if (votes[i].has_value()) continue;
+        stats_.prepare_retries.add();
+        calls[i] = ctx_.network->send_request(id_, participants[i], preps[i]);
+      }
+    }
   }
 
   bool outcome = true;
   AbortReason reason = AbortReason::kNone;
-  for (auto& call : calls) {
-    auto reply = call.await(ctx_.config.rpc_timeout);
-    if (!reply.has_value()) {
+  for (const auto& v : votes) {
+    if (!v.has_value()) {
       outcome = false;
       if (reason == AbortReason::kNone) reason = AbortReason::kVoteTimeout;
       continue;
     }
-    const auto& vote = std::get<VoteReply>(*reply);
+    const VoteReply& vote = *v;
     if (!vote.ok) {
       outcome = false;
       if (reason == AbortReason::kNone) {
@@ -103,18 +148,41 @@ bool TwoPcNode::commit(Transaction& tx) {
   // Full synchronous second phase: the transaction completes only after
   // every participant applied the decision and acknowledged. This is the
   // read-only commit cost PSI avoids (§5: read-only transactions "undergo
-  // an expensive commit phase using the 2PC protocol").
-  std::vector<net::RpcCall> ack_calls;
-  for (NodeId site : participants) {
+  // an expensive commit phase using the 2PC protocol"). Under faults the
+  // Decide is re-sent with backoff until acknowledged — a lost Decide
+  // would strand the participant's locks.
+  auto make_decide = [&](NodeId site) {
     DecideMessage d;
     d.tx = tx.id();
     d.outcome = outcome;
     d.origin = id_;
     d.writes = by_site[site].writes;
-    ack_calls.push_back(ctx_.network->send_request(id_, site, std::move(d)));
+    return d;
+  };
+  std::vector<NodeId> unacked = participants;
+  std::vector<net::RpcCall> ack_calls;
+  for (NodeId site : participants) {
+    ack_calls.push_back(ctx_.network->send_request(id_, site, make_decide(site)));
   }
-  for (auto& call : ack_calls) {
-    (void)call.await(ctx_.config.rpc_timeout);
+  const std::uint32_t rounds = chaos ? ctx_.config.decide_attempts : 1;
+  for (std::uint32_t attempt = 0; attempt < rounds && !unacked.empty();
+       ++attempt) {
+    const auto wait = chaos ? ctx_.config.decide_ack_timeout * (1u << attempt)
+                            : ctx_.config.rpc_timeout;
+    std::vector<NodeId> still;
+    std::vector<net::RpcCall> still_calls;
+    for (std::size_t i = 0; i < ack_calls.size(); ++i) {
+      if (ack_calls[i].await(wait).has_value()) continue;
+      ctx_.network->cancel_rpc(ack_calls[i]);
+      if (attempt + 1 < rounds) {
+        stats_.decide_retries.add();
+        still.push_back(unacked[i]);
+        still_calls.push_back(
+            ctx_.network->send_request(id_, unacked[i], make_decide(unacked[i])));
+      }
+    }
+    unacked = std::move(still);
+    ack_calls = std::move(still_calls);
   }
 
   if (outcome) {
@@ -176,6 +244,29 @@ void TwoPcNode::on_read_request(const ReadRequest& req) {
 }
 
 void TwoPcNode::on_prepare(const PrepareRequest& req) {
+  // Redelivery dedup, keyed by tx id (see twopc_node.hpp). Only live once
+  // deliveries may have been disturbed (injector or pauses): on a reliable
+  // network Prepares are never redelivered, and a long-lived decided set
+  // would misread a recycled tx id (a fresh session restarting its seq
+  // counter) as a stale retransmission.
+  if (ctx_.network->deliveries_disturbed()) {
+    std::lock_guard<std::mutex> lock(prepared_mu_);
+    if (decided_.count(req.tx) != 0 || preparing_.count(req.tx) != 0) {
+      stats_.dup_drops.add();
+      return;
+    }
+    if (prepared_.count(req.tx) != 0) {
+      // Already voted yes; locks still held. Re-vote for the retry.
+      stats_.dup_drops.add();
+      VoteReply vote;
+      vote.rpc_id = req.rpc_id;
+      vote.ok = true;
+      ctx_.network->send(id_, req.reply_to, std::move(vote));
+      return;
+    }
+    preparing_.insert(req.tx);
+  }
+
   PreparedLocks held;
   for (const auto& w : req.writes) held.exclusive.push_back(w.key);
   std::sort(held.exclusive.begin(), held.exclusive.end());
@@ -228,10 +319,30 @@ void TwoPcNode::on_prepare(const PrepareRequest& req) {
         for (Key k : held.shared) locks_.unlock_shared(k, req.tx);
         locks_.unlock_all_exclusive(held.exclusive, req.tx);
       } else {
-        std::lock_guard<std::mutex> lock(prepared_mu_);
-        prepared_[req.tx] = std::move(held);
+        bool decided_meanwhile = false;
+        {
+          std::lock_guard<std::mutex> lock(prepared_mu_);
+          preparing_.erase(req.tx);
+          if (decided_.count(req.tx) != 0) {
+            decided_meanwhile = true;
+          } else {
+            prepared_[req.tx] = std::move(held);
+          }
+        }
+        if (decided_meanwhile) {
+          // A (necessarily abort) Decide raced past while we validated:
+          // release now — nothing will decide this tx again.
+          for (Key k : held.shared) locks_.unlock_shared(k, req.tx);
+          locks_.unlock_all_exclusive(held.exclusive, req.tx);
+          vote.ok = false;
+          vote.fail_reason = VoteFail::kLock;
+        }
       }
     }
+  }
+  if (!vote.ok) {
+    std::lock_guard<std::mutex> lock(prepared_mu_);
+    preparing_.erase(req.tx);
   }
   ctx_.network->send(id_, req.reply_to, std::move(vote));
 }
@@ -244,13 +355,29 @@ void TwoPcNode::on_decide(DecideMessage&& m) {
   }
 }
 
+void TwoPcNode::note_decided_locked(TxId tx) {
+  // Paired with on_prepare's dedup gate: only track decisions once
+  // deliveries may have been disturbed (see there about recycled tx ids).
+  if (!ctx_.network->deliveries_disturbed()) return;
+  if (!decided_.insert(tx).second) return;
+  decided_fifo_.push_back(tx);
+  if (decided_fifo_.size() > kDecidedHorizon) {
+    decided_.erase(decided_fifo_.front());
+    decided_fifo_.pop_front();
+  }
+}
+
 void TwoPcNode::release_prepared(TxId tx, bool install,
                                  const std::vector<WriteEntry>& writes) {
   PreparedLocks held;
   {
     std::lock_guard<std::mutex> lock(prepared_mu_);
+    // Remember the decision before the lookup so a stale retransmitted
+    // Prepare can never re-lock keys after the decision passed through
+    // (this also makes duplicated Decide deliveries no-ops).
+    note_decided_locked(tx);
     auto it = prepared_.find(tx);
-    if (it == prepared_.end()) return;  // voted no; nothing held
+    if (it == prepared_.end()) return;  // voted no / duplicate; nothing held
     held = std::move(it->second);
     prepared_.erase(it);
   }

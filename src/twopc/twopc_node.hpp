@@ -8,8 +8,10 @@
 // paper reports FW-KV/Walter at >3x its throughput.
 #pragma once
 
+#include <deque>
 #include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/kv_node.hpp"
@@ -48,8 +50,18 @@ class TwoPcNode final : public KvNode {
     std::vector<Key> exclusive;  // written keys
     std::vector<Key> shared;     // read-only-validated keys
   };
+  // Redelivered Prepares are deduplicated by tx id: `preparing_` covers a
+  // prepare mid-flight on another thread, `prepared_` a yes-vote awaiting
+  // its Decide (re-vote yes), `decided_` recently decided transactions so a
+  // stale retransmitted Prepare cannot re-lock keys nothing would release.
   std::mutex prepared_mu_;
   std::unordered_map<TxId, PreparedLocks> prepared_;
+  std::unordered_set<TxId> preparing_;
+  std::unordered_set<TxId> decided_;
+  std::deque<TxId> decided_fifo_;
+  static constexpr std::size_t kDecidedHorizon = 1 << 16;
+  /// Requires prepared_mu_. Bounded-memory insert into the decided set.
+  void note_decided_locked(TxId tx);
 };
 
 }  // namespace fwkv

@@ -24,21 +24,13 @@ struct InvariantCase {
   std::chrono::milliseconds propagate_delay;
 };
 
-class MoneyConservationTest
-    : public ::testing::TestWithParam<InvariantCase> {};
-
-TEST_P(MoneyConservationTest, TotalBalanceIsInvariant) {
-  // Transfers read-modify-write both accounts: every protocol must detect
-  // write-write conflicts, so no money is created or destroyed — even when
-  // propagation lags (the Fig. 7 failure condition).
-  const auto param = GetParam();
-  ClusterConfig cfg;
-  cfg.num_nodes = 3;
-  cfg.protocol = param.protocol;
-  cfg.net.one_way_latency = std::chrono::microseconds(20);
-  cfg.net.propagate_extra_delay = param.propagate_delay;
-  Cluster cluster(cfg);
-
+/// Random transfers between accounts for `run_for`, then a full audit:
+/// total balance must be exactly conserved. `label` names the
+/// configuration in failure output (the chaos variant embeds its fault
+/// seed so a violation is reproducible).
+void run_money_conservation(Cluster& cluster,
+                            std::chrono::milliseconds run_for,
+                            const std::string& label) {
   constexpr Key kAccounts = 24;
   constexpr std::int64_t kInitial = 100;
   for (Key a = 0; a < kAccounts; ++a) {
@@ -67,21 +59,47 @@ TEST_P(MoneyConservationTest, TotalBalanceIsInvariant) {
       }
     });
   }
-  std::this_thread::sleep_for(300ms);
+  std::this_thread::sleep_for(run_for);
   stop = true;
   for (auto& t : threads) t.join();
-  ASSERT_TRUE(cluster.quiesce(10s));
-  ASSERT_GT(commits.load(), 0u);
+  ASSERT_TRUE(cluster.quiesce(10s)) << label;
+  ASSERT_GT(commits.load(), 0u) << label;
 
   Session auditor = cluster.make_session(0, 50);
   auto audit = auditor.begin(true);
   std::int64_t total = 0;
   for (Key a = 0; a < kAccounts; ++a) {
-    total += parse(auditor.read(audit, a).value());
+    // Under fault injection a read can exhaust its retries; keep asking —
+    // the audit must observe every account.
+    std::optional<Value> v;
+    for (int attempt = 0; attempt < 20 && !v; ++attempt) {
+      v = auditor.read(audit, a);
+    }
+    ASSERT_TRUE(v.has_value()) << "audit read of account " << a
+                               << " kept failing; " << label;
+    total += parse(*v);
   }
   auditor.commit(audit);
   EXPECT_EQ(total, kInitial * kAccounts)
-      << "conservation violated after " << commits.load() << " transfers";
+      << "conservation violated after " << commits.load() << " transfers; "
+      << label;
+}
+
+class MoneyConservationTest
+    : public ::testing::TestWithParam<InvariantCase> {};
+
+TEST_P(MoneyConservationTest, TotalBalanceIsInvariant) {
+  // Transfers read-modify-write both accounts: every protocol must detect
+  // write-write conflicts, so no money is created or destroyed — even when
+  // propagation lags (the Fig. 7 failure condition).
+  const auto param = GetParam();
+  ClusterConfig cfg;
+  cfg.num_nodes = 3;
+  cfg.protocol = param.protocol;
+  cfg.net.one_way_latency = std::chrono::microseconds(20);
+  cfg.net.propagate_extra_delay = param.propagate_delay;
+  Cluster cluster(cfg);
+  run_money_conservation(cluster, 300ms, protocol_name(param.protocol));
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -96,6 +114,59 @@ INSTANTIATE_TEST_SUITE_P(
       name.erase(std::remove(name.begin(), name.end(), '-'), name.end());
       return name + (info.param.propagate_delay.count() > 0 ? "Delayed" : "");
     });
+
+#ifdef FWKV_CHAOS_SUITE
+// Chaos variant: conservation must survive 5% drop/duplicate/reorder on
+// every message class plus a healing partition. Exercises timeout aborts,
+// prepare/decide retries and gap repair end to end; the audit then proves
+// none of that machinery double-applied or lost a committed transfer.
+struct ChaosInvariantCase {
+  Protocol protocol;
+  std::uint64_t seed;
+};
+
+class ChaosMoneyConservationTest
+    : public ::testing::TestWithParam<ChaosInvariantCase> {};
+
+TEST_P(ChaosMoneyConservationTest, TotalBalanceIsInvariantUnderFaults) {
+  const auto param = GetParam();
+  ClusterConfig cfg;
+  cfg.num_nodes = 3;
+  cfg.protocol = param.protocol;
+  cfg.net.one_way_latency = std::chrono::microseconds(20);
+  cfg.net.faults = net::FaultPlan::uniform(param.seed, 0.05, 0.05, 0.05);
+  cfg.net.faults.partitions.push_back(
+      net::LinkPartition{1, 2, 40ms, 50ms, /*bidirectional=*/true});
+  cfg.protocol_config.rpc_timeout = 50ms;
+  cfg.protocol_config.prepare_timeout = 30ms;
+  cfg.protocol_config.decide_ack_timeout = 10ms;
+  cfg.protocol_config.gap_request_delay = 3ms;
+  Cluster cluster(cfg);
+  run_money_conservation(
+      cluster, 300ms,
+      std::string("reproduce: FaultPlan::uniform(") +
+          std::to_string(param.seed) + ", 0.05, 0.05, 0.05) + partition(1,2"
+          ",40ms,50ms), protocol " + protocol_name(param.protocol));
+}
+
+std::vector<ChaosInvariantCase> chaos_invariant_cases() {
+  const std::uint64_t seeds[] = {11, 23, 37, 41, 59, 67, 83, 97};
+  std::vector<ChaosInvariantCase> cases;
+  for (Protocol p :
+       {Protocol::kFwKv, Protocol::kWalter, Protocol::kTwoPC}) {
+    for (auto s : seeds) cases.push_back({p, s});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, ChaosMoneyConservationTest,
+    ::testing::ValuesIn(chaos_invariant_cases()), [](const auto& info) {
+      std::string name = protocol_name(info.param.protocol);
+      name.erase(std::remove(name.begin(), name.end(), '-'), name.end());
+      return name + "Seed" + std::to_string(info.param.seed);
+    });
+#endif  // FWKV_CHAOS_SUITE
 
 class SnapshotAtomicityTest : public ::testing::TestWithParam<Protocol> {};
 

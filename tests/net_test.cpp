@@ -317,5 +317,255 @@ TEST(SimNetworkTest, ScheduleRunsTask) {
   EXPECT_TRUE(ran);
 }
 
+TEST(SimNetworkTest, LinkLatencyMatrixOverridesPerLink) {
+  NetConfig cfg;
+  cfg.one_way_latency = 0ns;
+  // 3 nodes; only the 0->2 link is slow. -1 entries fall back to
+  // one_way_latency.
+  cfg.link_latency.assign(3, std::vector<std::chrono::nanoseconds>(3, -1ns));
+  cfg.link_latency[0][2] = 40ms;
+  SimNetwork net(3, cfg);
+  RecordingEndpoint a(&net, 0);
+  RecordingEndpoint b(&net, 1);
+  RecordingEndpoint c(&net, 2);
+  net.register_endpoint(0, &a);
+  net.register_endpoint(1, &b);
+  net.register_endpoint(2, &c);
+
+  auto rtt_to = [&](NodeId to) {
+    const auto t0 = Clock::now();
+    ReadRequest req;
+    req.key = 7;
+    auto call = net.send_request(0, to, std::move(req));
+    EXPECT_TRUE(call.await(5s).has_value());
+    return Clock::now() - t0;
+  };
+  EXPECT_LT(rtt_to(1), 30ms);   // fallback link: effectively instant
+  EXPECT_GE(rtt_to(2), 38ms);   // 40 ms out, 0 ms (fallback) back
+}
+
+TEST(SimNetworkTest, TwoRegionMatrixValues) {
+  const auto m = SimNetwork::two_region_matrix(4, 2, 1ms, 30ms);
+  ASSERT_EQ(m.size(), 4u);
+  for (std::uint32_t from = 0; from < 4; ++from) {
+    ASSERT_EQ(m[from].size(), 4u);
+    for (std::uint32_t to = 0; to < 4; ++to) {
+      const bool cross = (from < 2) != (to < 2);
+      EXPECT_EQ(m[from][to], cross ? 30ms : 1ms)
+          << "link " << from << "->" << to;
+    }
+  }
+}
+
+TEST(SimNetworkTest, JitterStaysWithinBounds) {
+  NetConfig cfg;
+  cfg.one_way_latency = 5ms;
+  cfg.jitter = 5ms;
+  SimNetwork net(2, cfg);
+  RecordingEndpoint a(&net, 0);
+  RecordingEndpoint b(&net, 1);
+  net.register_endpoint(0, &a);
+  net.register_endpoint(1, &b);
+
+  for (int i = 0; i < 5; ++i) {
+    const auto t0 = Clock::now();
+    ReadRequest req;
+    req.key = static_cast<Key>(i);
+    auto call = net.send_request(0, 1, std::move(req));
+    ASSERT_TRUE(call.await(5s).has_value());
+    const auto rtt = Clock::now() - t0;
+    // Two hops of [5 ms, 10 ms] each; generous upper slack for scheduling,
+    // but a unit mistake (jitter in us vs ms, or unbounded draw) would trip.
+    EXPECT_GE(rtt, 8ms);
+    EXPECT_LT(rtt, 500ms);
+  }
+}
+
+// ---- deterministic fault injection -------------------------------------
+
+TEST(FaultInjectorTest, SameSeedSameDecisions) {
+  FaultPlan plan = FaultPlan::uniform(/*seed=*/77, 0.3, 0.3, 0.3);
+  FaultInjector x(plan, 4);
+  FaultInjector y(plan, 4);
+  for (int i = 0; i < 2000; ++i) {
+    const NodeId from = static_cast<NodeId>(i % 4);
+    const NodeId to = static_cast<NodeId>((i + 1) % 4);
+    const auto type = static_cast<MessageType>(i % kNumMessageTypes);
+    const auto dx = x.decide(from, to, type, 0);
+    const auto dy = y.decide(from, to, type, 0);
+    EXPECT_EQ(dx.drop, dy.drop);
+    EXPECT_EQ(dx.duplicate, dy.duplicate);
+    EXPECT_EQ(dx.extra_ns, dy.extra_ns);
+    EXPECT_EQ(dx.dup_extra_ns, dy.dup_extra_ns);
+    EXPECT_EQ(dx.index, dy.index);
+  }
+}
+
+TEST(FaultInjectorTest, DifferentSeedsDiverge) {
+  FaultPlan a = FaultPlan::uniform(1, 0.5);
+  FaultPlan b = FaultPlan::uniform(2, 0.5);
+  FaultInjector x(a, 2);
+  FaultInjector y(b, 2);
+  int differing = 0;
+  for (int i = 0; i < 500; ++i) {
+    if (x.decide(0, 1, MessageType::kDecide, 0).drop !=
+        y.decide(0, 1, MessageType::kDecide, 0).drop) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(SimNetworkFaultTest, SameSeedSameFaultSchedule) {
+  // Two networks with the same plan, fed the same single-threaded message
+  // sequence, must emit identical fault-event streams.
+  auto run = [] {
+    NetConfig cfg;
+    cfg.one_way_latency = 0ns;
+    cfg.faults = FaultPlan::uniform(/*seed=*/42, 0.25, 0.25, 0.25);
+    SimNetwork net(2, cfg);
+    RecordingEndpoint a(&net, 0);
+    RecordingEndpoint b(&net, 1);
+    net.register_endpoint(0, &a);
+    net.register_endpoint(1, &b);
+    std::vector<FaultEvent> events;
+    std::mutex mu;
+    net.set_fault_hook([&](const FaultEvent& ev) {
+      std::lock_guard<std::mutex> lock(mu);
+      events.push_back(ev);
+    });
+    for (int i = 0; i < 400; ++i) {
+      net.send(0, 1, RemoveMessage{TxId(1, 1, static_cast<std::uint32_t>(i)),
+                                   {static_cast<Key>(i)}});
+    }
+    EXPECT_TRUE(net.wait_quiescent(5s));
+    return events;
+  };
+  const auto first = run();
+  const auto second = run();
+  EXPECT_FALSE(first.empty()) << "25% fault rates injected nothing";
+  EXPECT_EQ(first, second);
+}
+
+TEST(SimNetworkFaultTest, DropProbabilityOneDropsEverything) {
+  NetConfig cfg;
+  cfg.one_way_latency = 0ns;
+  cfg.faults.seed = 9;
+  cfg.faults.message[static_cast<std::size_t>(MessageType::kRemove)].drop =
+      1.0;
+  SimNetwork net(2, cfg);
+  RecordingEndpoint a(&net, 0);
+  RecordingEndpoint b(&net, 1);
+  net.register_endpoint(0, &a);
+  net.register_endpoint(1, &b);
+
+  for (int i = 0; i < 50; ++i) {
+    net.send(0, 1, RemoveMessage{TxId(1, 1, static_cast<std::uint32_t>(i)),
+                                 {1}});
+  }
+  ASSERT_TRUE(net.wait_quiescent(1s));
+  EXPECT_EQ(b.received_.load(), 0);
+  EXPECT_EQ(net.faults_injected(FaultKind::kDrop), 50u);
+  // Untargeted classes are untouched.
+  net.send(0, 1, PropagateMessage{0, 1, 1});
+  ASSERT_TRUE(net.wait_quiescent(1s));
+  EXPECT_EQ(b.received_.load(), 1);
+}
+
+TEST(SimNetworkFaultTest, LoopbackIsNeverFaulted) {
+  NetConfig cfg;
+  cfg.one_way_latency = 0ns;
+  cfg.faults = FaultPlan::uniform(/*seed=*/5, /*drop=*/1.0);
+  SimNetwork net(2, cfg);
+  RecordingEndpoint a(&net, 0);
+  net.register_endpoint(0, &a);
+  for (int i = 0; i < 20; ++i) {
+    net.send(0, 0, RemoveMessage{TxId(1, 1, static_cast<std::uint32_t>(i)),
+                                 {1}});
+  }
+  ASSERT_TRUE(net.wait_quiescent(1s));
+  EXPECT_EQ(a.received_.load(), 20);
+  EXPECT_EQ(net.faults_injected(FaultKind::kDrop), 0u);
+}
+
+TEST(SimNetworkFaultTest, DuplicateProbabilityOneDeliversTwice) {
+  NetConfig cfg;
+  cfg.one_way_latency = 0ns;
+  cfg.faults.seed = 11;
+  cfg.faults.message[static_cast<std::size_t>(MessageType::kRemove)]
+      .duplicate = 1.0;
+  SimNetwork net(2, cfg);
+  RecordingEndpoint a(&net, 0);
+  RecordingEndpoint b(&net, 1);
+  net.register_endpoint(0, &a);
+  net.register_endpoint(1, &b);
+
+  for (int i = 0; i < 25; ++i) {
+    net.send(0, 1, RemoveMessage{TxId(1, 1, static_cast<std::uint32_t>(i)),
+                                 {1}});
+  }
+  ASSERT_TRUE(net.wait_quiescent(5s));
+  EXPECT_EQ(b.received_.load(), 50);
+  EXPECT_EQ(net.faults_injected(FaultKind::kDuplicate), 25u);
+}
+
+TEST(SimNetworkFaultTest, PartitionWindowDropsThenHeals) {
+  NetConfig cfg;
+  cfg.one_way_latency = 0ns;
+  cfg.faults.seed = 3;
+  cfg.faults.partitions.push_back(
+      LinkPartition{/*a=*/0, /*b=*/1, /*start=*/0ms, /*duration=*/150ms,
+                    /*bidirectional=*/true});
+  SimNetwork net(2, cfg);
+  RecordingEndpoint a(&net, 0);
+  RecordingEndpoint b(&net, 1);
+  net.register_endpoint(0, &a);
+  net.register_endpoint(1, &b);
+
+  net.send(0, 1, RemoveMessage{TxId(1, 1, 1), {1}});
+  net.send(1, 0, RemoveMessage{TxId(1, 1, 2), {2}});
+  ASSERT_TRUE(net.wait_quiescent(1s));
+  EXPECT_EQ(a.received_.load(), 0);
+  EXPECT_EQ(b.received_.load(), 0);
+  EXPECT_EQ(net.faults_injected(FaultKind::kPartitionDrop), 2u);
+
+  std::this_thread::sleep_for(200ms);  // past the heal time
+  net.send(0, 1, RemoveMessage{TxId(1, 1, 3), {3}});
+  ASSERT_TRUE(net.wait_quiescent(1s));
+  EXPECT_EQ(b.received_.load(), 1);
+  EXPECT_EQ(net.faults_injected(FaultKind::kPartitionDrop), 2u);
+}
+
+TEST(SimNetworkFaultTest, PauseNodeDefersDelivery) {
+  SimNetwork net(2, fast_net());
+  RecordingEndpoint a(&net, 0);
+  RecordingEndpoint b(&net, 1);
+  net.register_endpoint(0, &a);
+  net.register_endpoint(1, &b);
+
+  net.pause_node(1, 150ms);
+  const auto t0 = Clock::now();
+  net.send(0, 1, RemoveMessage{TxId(1, 1, 1), {1}});
+  std::this_thread::sleep_for(30ms);
+  EXPECT_EQ(b.received_.load(), 0) << "delivered into the pause window";
+  ASSERT_TRUE(net.wait_quiescent(5s));
+  EXPECT_EQ(b.received_.load(), 1);
+  EXPECT_GE(Clock::now() - t0, 140ms);
+  EXPECT_EQ(net.faults_injected(FaultKind::kPauseDeferral), 1u);
+  // The paused node could still send the whole time.
+  net.send(1, 0, RemoveMessage{TxId(1, 1, 2), {2}});
+  ASSERT_TRUE(net.wait_quiescent(1s));
+  EXPECT_EQ(a.received_.load(), 1);
+}
+
+TEST(SimNetworkFaultTest, InertPlanInstallsNoInjector) {
+  SimNetwork net(2, fast_net());
+  EXPECT_FALSE(net.faults_active());
+  NetConfig cfg;
+  cfg.faults = FaultPlan::uniform(1, 0.01);
+  SimNetwork chaotic(2, cfg);
+  EXPECT_TRUE(chaotic.faults_active());
+}
+
 }  // namespace
 }  // namespace fwkv::net

@@ -39,17 +39,13 @@ struct HistoryCase {
   std::chrono::milliseconds propagate_delay;
 };
 
-class PsiHistoryTest : public ::testing::TestWithParam<HistoryCase> {};
-
-TEST_P(PsiHistoryTest, GroupSnapshotsAreAtomicAndMonotone) {
-  const auto param = GetParam();
-  ClusterConfig cfg;
-  cfg.num_nodes = 3;
-  cfg.protocol = param.protocol;
-  cfg.net.one_way_latency = std::chrono::microseconds(20);
-  cfg.net.propagate_extra_delay = param.propagate_delay;
-  Cluster cluster(cfg);
-
+/// Drives the writer/reader swarm against `cluster` for `run_for` and
+/// checks G1/G2. `label` names the configuration in failure messages (the
+/// chaos variant puts the fault seed here so a violation is reproducible).
+/// `min_snapshots`/`min_commits` guard against a silently wedged run.
+void run_group_history(Cluster& cluster, std::chrono::milliseconds run_for,
+                       std::uint64_t min_snapshots, std::uint64_t min_commits,
+                       const std::string& label) {
   for (std::uint32_t g = 0; g < kGroups; ++g) {
     for (std::uint32_t i = 0; i < kKeysPerGroup; ++i) {
       cluster.load(group_key(g, i), "0");
@@ -143,16 +139,32 @@ TEST_P(PsiHistoryTest, GroupSnapshotsAreAtomicAndMonotone) {
     });
   }
 
-  std::this_thread::sleep_for(400ms);
+  std::this_thread::sleep_for(run_for);
   stop.store(true, std::memory_order_release);
   for (auto& t : threads) t.join();
-  ASSERT_TRUE(cluster.quiesce(10s));
+  ASSERT_TRUE(cluster.quiesce(10s)) << label;
 
-  ASSERT_GT(snapshots.load(), 100u);
-  ASSERT_GT(commits.load(), 10u);
-  EXPECT_EQ(torn.load(), 0u) << "read skew: torn group snapshot";
+  ASSERT_GT(snapshots.load(), min_snapshots) << label;
+  ASSERT_GT(commits.load(), min_commits) << label;
+  EXPECT_EQ(torn.load(), 0u)
+      << "read skew: torn group snapshot; " << label;
   EXPECT_EQ(regressions.load(), 0u)
-      << "per-origin commit order regressed within a reader session";
+      << "per-origin commit order regressed within a reader session; "
+      << label;
+}
+
+class PsiHistoryTest : public ::testing::TestWithParam<HistoryCase> {};
+
+TEST_P(PsiHistoryTest, GroupSnapshotsAreAtomicAndMonotone) {
+  const auto param = GetParam();
+  ClusterConfig cfg;
+  cfg.num_nodes = 3;
+  cfg.protocol = param.protocol;
+  cfg.net.one_way_latency = std::chrono::microseconds(20);
+  cfg.net.propagate_extra_delay = param.propagate_delay;
+  Cluster cluster(cfg);
+  run_group_history(cluster, 400ms, /*min_snapshots=*/100,
+                    /*min_commits=*/10, protocol_name(param.protocol));
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -167,6 +179,61 @@ INSTANTIATE_TEST_SUITE_P(
       name.erase(std::remove(name.begin(), name.end(), '-'), name.end());
       return name + (info.param.propagate_delay.count() > 0 ? "Delayed" : "");
     });
+
+#ifdef FWKV_CHAOS_SUITE
+// Chaos variant: the same G1/G2 guarantees must hold while the network
+// drops, duplicates and reorders 5% of every message class and one link
+// partitions mid-run. Every assertion carries the seed, so a violation is
+// reproducible by constructing the same FaultPlan.
+struct ChaosHistoryCase {
+  Protocol protocol;
+  std::uint64_t seed;
+};
+
+class ChaosHistoryTest : public ::testing::TestWithParam<ChaosHistoryCase> {};
+
+TEST_P(ChaosHistoryTest, GroupGuaranteesHoldUnderFaults) {
+  const auto param = GetParam();
+  ClusterConfig cfg;
+  cfg.num_nodes = 3;
+  cfg.protocol = param.protocol;
+  cfg.net.one_way_latency = std::chrono::microseconds(20);
+  cfg.net.faults = net::FaultPlan::uniform(param.seed, 0.05, 0.05, 0.05);
+  // One link flaps mid-run and heals.
+  cfg.net.faults.partitions.push_back(
+      net::LinkPartition{0, 1, 50ms, 60ms, /*bidirectional=*/true});
+  // Recovery timeouts sized to the 20 us simulated latency so retries and
+  // timeout aborts land inside the run window.
+  cfg.protocol_config.rpc_timeout = 50ms;
+  cfg.protocol_config.prepare_timeout = 30ms;
+  cfg.protocol_config.decide_ack_timeout = 10ms;
+  cfg.protocol_config.gap_request_delay = 3ms;
+  Cluster cluster(cfg);
+  run_group_history(
+      cluster, 400ms, /*min_snapshots=*/20, /*min_commits=*/5,
+      std::string("reproduce: FaultPlan::uniform(") +
+          std::to_string(param.seed) + ", 0.05, 0.05, 0.05) + partition(0,1"
+          ",50ms,60ms), protocol " + protocol_name(param.protocol));
+}
+
+std::vector<ChaosHistoryCase> chaos_history_cases() {
+  const std::uint64_t seeds[] = {11, 23, 37, 41, 59, 67, 83, 97};
+  std::vector<ChaosHistoryCase> cases;
+  for (Protocol p :
+       {Protocol::kFwKv, Protocol::kWalter, Protocol::kTwoPC}) {
+    for (auto s : seeds) cases.push_back({p, s});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, ChaosHistoryTest, ::testing::ValuesIn(chaos_history_cases()),
+    [](const auto& info) {
+      std::string name = protocol_name(info.param.protocol);
+      name.erase(std::remove(name.begin(), name.end(), '-'), name.end());
+      return name + "Seed" + std::to_string(info.param.seed);
+    });
+#endif  // FWKV_CHAOS_SUITE
 
 }  // namespace
 }  // namespace fwkv

@@ -67,6 +67,13 @@ TEST(VersionChainTest, AccessSetInsertEraseContains) {
   EXPECT_TRUE(v.access_set_contains(kReader));
   EXPECT_TRUE(v.access_set_erase(kReader));
   EXPECT_FALSE(v.access_set_erase(kReader));
+  // Stamped ids live in both sets; one erase clears both.
+  EXPECT_TRUE(v.stamp_insert(kReader));
+  EXPECT_FALSE(v.stamp_insert(kReader)) << "duplicate stamp";
+  EXPECT_TRUE(v.excluded_contains(kReader));
+  EXPECT_TRUE(v.access_set_erase(kReader));
+  EXPECT_FALSE(v.excluded_contains(kReader));
+  EXPECT_FALSE(v.access_set_contains(kReader));
 }
 
 // ---- read-only selection (Alg. 3 lines 2-10) ----
@@ -102,22 +109,34 @@ TEST(ReadOnlySelect, MaskConstrainsVisibility) {
 }
 
 TEST(ReadOnlySelect, AccessSetExcludesAntiDependentVersion) {
-  // Fig. 2: y1 carries T1's id (propagated by T3's commit); T1's read of y
-  // must fall back to y0 even though y1 is visible.
+  // Fig. 2: y1 was stamped with T1's id at install (propagated by T3's
+  // commit); T1's read of y must fall back to y0 even though y1 is visible.
   VersionChain chain;
-  add(chain, 3, 1, 5);                               // y0
-  add(chain, 3, 2, 7).access_set_insert(kReader);    // y1, VAS={T1}
+  add(chain, 3, 1, 5);                           // y0
+  add(chain, 3, 2, 7).stamp_insert(kReader);     // y1, excluded={T1}
   auto r = chain.select_read_only(vc({0, 7, 0}), {false, true, false},
                                   kReader);
   EXPECT_EQ(r.value, "v5") << "anti-dependent version was returned";
 }
 
-TEST(ReadOnlySelect, FallsBackToOwnVersionOnRereadPattern) {
-  // Every visible version already carries the reader (re-read without the
-  // client cache): return the newest of them rather than nothing.
+TEST(ReadOnlySelect, ReadRegistrationDoesNotExclude) {
+  // A plain read-time registration (retried/redelivered rpc) is not an
+  // anti-dependency: the re-read must be served the registered version,
+  // not be bounced to an older one (that would tear the snapshot).
   VersionChain chain;
-  add(chain, 2, 0, 1).access_set_insert(kReader);
-  add(chain, 2, 0, 2).access_set_insert(kReader);
+  add(chain, 3, 1, 5);
+  add(chain, 3, 1, 7).access_set_insert(kReader);
+  auto r = chain.select_read_only(vc({0, 7, 0}), {false, true, false},
+                                  kReader);
+  EXPECT_EQ(r.value, "v7") << "retried read was served a stale version";
+}
+
+TEST(ReadOnlySelect, FallsBackToNewestExcludedVersion) {
+  // Every visible version is stamped against the reader: return the newest
+  // of them rather than nothing (best effort past GC's retention bound).
+  VersionChain chain;
+  add(chain, 2, 0, 1).stamp_insert(kReader);
+  add(chain, 2, 0, 2).stamp_insert(kReader);
   auto r = chain.select_read_only(vc({2, 0}), {true, false}, kReader);
   ASSERT_TRUE(r.found);
   EXPECT_EQ(r.value, "v2");
